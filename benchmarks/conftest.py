@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark population is larger than the test population (so the shapes
+reported in the paper are visible) but smaller than the paper's 350 hosts so
+the full harness completes in minutes.  Regenerate EXPERIMENTS.md numbers at
+paper scale with ``python examples/enterprise_policy_comparison.py --paper-scale``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.workload.enterprise import EnterpriseConfig, generate_enterprise
+
+#: Benchmark-scale population: large enough to show the paper's shapes.
+BENCH_CONFIG = EnterpriseConfig(num_hosts=100, num_weeks=2, seed=2009)
+
+
+@pytest.fixture(scope="session")
+def bench_population():
+    """The shared benchmark population (generated once per session)."""
+    return generate_enterprise(BENCH_CONFIG)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

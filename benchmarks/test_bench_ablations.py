@@ -1,0 +1,115 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.core.evaluation import EvaluationProtocol, evaluate_policy_on_feature, training_distributions
+from repro.core.grouping import KMeansGrouping, QuantileSplitGrouping
+from repro.core.policies import ConfigurationPolicy, FullDiversityPolicy, PartialDiversityPolicy
+from repro.core.thresholds import PercentileHeuristic
+from repro.experiments.report import render_table
+from repro.features.definitions import Feature
+from repro.stats.kmeans import kmeans, separation_score
+from repro.workload.enterprise import EnterpriseConfig, generate_enterprise
+
+
+def test_bench_ablation_partial_group_count(benchmark, bench_population):
+    """How close partial diversity gets to full diversity as groups increase (2/4/8)."""
+    matrices = bench_population.matrices()
+    protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS)
+
+    def sweep():
+        reference = evaluate_policy_on_feature(matrices, FullDiversityPolicy(), protocol)
+        rows = []
+        for groups in (2, 4, 8):
+            evaluation = evaluate_policy_on_feature(
+                matrices, PartialDiversityPolicy(num_groups=groups), protocol
+            )
+            rows.append([groups, evaluation.total_false_alarms(), evaluation.mean_utility()])
+        rows.append(["full", reference.total_false_alarms(), reference.mean_utility()])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + render_table(["groups", "alarms/week", "mean utility"], rows,
+                              title="Ablation — partial-diversity group count"))
+    # More groups should track full diversity at least as well as fewer groups.
+    assert abs(rows[2][2] - rows[3][2]) <= abs(rows[0][2] - rows[3][2]) + 1e-6
+
+
+def test_bench_ablation_binning_interval(benchmark):
+    """5-minute vs 15-minute bins give the same qualitative tail-diversity answer."""
+    from repro.experiments import run_fig1
+    from repro.utils.timeutils import MINUTE
+
+    def spreads_for(bin_width):
+        config = EnterpriseConfig(num_hosts=40, num_weeks=1, seed=7, bin_width=bin_width)
+        population = generate_enterprise(config)
+        return run_fig1(population).spread_summary()
+
+    def run():
+        return spreads_for(5 * MINUTE), spreads_for(15 * MINUTE)
+
+    five, fifteen = run_once(benchmark, run)
+    rows = [[f.value, five[f], fifteen[f]] for f in five]
+    print("\n" + render_table(["feature", "5-min spread (oom)", "15-min spread (oom)"], rows,
+                              title="Ablation — binning interval"))
+    for feature in five:
+        assert five[feature] > 1.0 and fifteen[feature] > 1.0
+
+
+def test_bench_ablation_kmeans_grouping(benchmark, bench_population):
+    """The paper's negative result: k-means finds no natural clusters in the tails."""
+    tails = bench_population.per_host_percentiles(Feature.TCP_CONNECTIONS, 99)
+
+    def run():
+        values = np.log10(np.maximum(np.array(list(tails.values())), 1e-9)).reshape(-1, 1)
+        result = kmeans(values, k=8, seed=0)
+        return separation_score(result, values)
+
+    score = run_once(benchmark, run)
+    print(f"\nAblation — k-means separation score on log10 tails: {score:.3f}")
+    # Continuous sweep of tail values -> weak cluster separation.
+    assert score < 0.9
+
+
+def test_bench_ablation_threshold_percentile(benchmark, bench_population):
+    """99th vs 99.9th percentile heuristic: alarm volume vs detection trade-off."""
+    matrices = bench_population.matrices()
+    protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS)
+
+    def run():
+        rows = []
+        for percentile in (99.0, 99.9):
+            policy = FullDiversityPolicy(PercentileHeuristic(percentile))
+            evaluation = evaluate_policy_on_feature(matrices, policy, protocol)
+            rows.append([percentile, evaluation.total_false_alarms()])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\n" + render_table(["percentile", "alarms/week"], rows,
+                              title="Ablation — threshold percentile"))
+    assert rows[1][1] <= rows[0][1]
+
+
+def test_bench_ablation_stationary_population(benchmark):
+    """Week-to-week drift ablation: a stationary population yields ~nominal alarm rates."""
+    def run():
+        rows = []
+        for drift, maintenance in ((0.0, False), (1.0, True)):
+            config = EnterpriseConfig(
+                num_hosts=60, num_weeks=2, seed=11,
+                week_drift_scale=drift, with_maintenance=maintenance,
+            )
+            population = generate_enterprise(config)
+            matrices = population.matrices()
+            protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS)
+            evaluation = evaluate_policy_on_feature(matrices, FullDiversityPolicy(), protocol)
+            rows.append([f"drift={drift:g} maint={maintenance}", evaluation.total_false_alarms()])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\n" + render_table(["population", "full-diversity alarms/week"], rows,
+                              title="Ablation — workload non-stationarity"))
+    assert all(row[1] >= 0 for row in rows)

@@ -1,0 +1,39 @@
+"""Benchmarks reproducing Figure 1, Figure 2 and Table 2 (user diversity)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import run_fig1, run_fig2, run_table2
+from repro.features.definitions import Feature
+
+
+def test_bench_fig1_tail_diversity(benchmark, bench_population):
+    """Figure 1: per-host threshold spread per feature (prints the table)."""
+    result = run_once(benchmark, run_fig1, bench_population)
+    print("\n" + result.render())
+    spreads = result.spread_summary()
+    # Paper shape: every feature spreads over more than an order of magnitude,
+    # DNS is among the narrowest (about two orders in the paper) and the
+    # widest features span three or more orders.
+    assert all(spread > 1.0 for spread in spreads.values())
+    assert spreads[Feature.DNS_CONNECTIONS] < spreads[Feature.UDP_CONNECTIONS]
+    assert sorted(spreads.values()).index(spreads[Feature.DNS_CONNECTIONS]) <= 1
+    assert max(spreads.values()) > 2.0
+
+
+def test_bench_fig2_feature_scatter(benchmark, bench_population):
+    """Figure 2: TCP-vs-UDP tail scatter — heavy users differ per feature."""
+    result = run_once(benchmark, run_fig2, bench_population)
+    print("\n" + result.render())
+    assert result.rank_overlap(10) < 10
+    assert result.pearson_correlation() < 0.95
+
+
+def test_bench_table2_best_users(benchmark, bench_population):
+    """Table 2: the ten lowest-threshold users per feature barely overlap."""
+    result = run_once(benchmark, run_table2, bench_population)
+    print("\n" + result.render())
+    # Paper shape: only a small overlap (2 of 10 for full diversity).
+    assert result.overlap_between_features("full-diversity") <= 6

@@ -1,0 +1,31 @@
+"""Benchmarks reproducing Figure 3 (utility) and Table 3 (alarm volume)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_fig3, run_table3
+
+
+def test_bench_fig3_utility_comparison(benchmark, bench_population):
+    """Figure 3: per-host utility boxplots and the weight sweep."""
+    result = run_once(benchmark, run_fig3, bench_population)
+    print("\n" + result.render())
+    means = result.mean_utilities()
+    # Paper shape: the diversity policies beat the monoculture on average and
+    # the advantage grows as missed detections gain importance.
+    assert means["full-diversity"] >= means["homogeneous"] - 1e-6
+    gains = result.gain_by_weight()
+    assert gains[-1] >= gains[0] - 1e-6
+    # 8-group partial diversity performs close to full diversity.
+    assert abs(means["8-partial"] - means["full-diversity"]) < 0.05
+
+
+def test_bench_table3_alarm_volume(benchmark, bench_population):
+    """Table 3: false alarms per week arriving at the IT console."""
+    result = run_once(benchmark, run_table3, bench_population)
+    print("\n" + result.render())
+    percentile_row = result.alarms["99th-percentile"]
+    # Paper shape: partial diversity sends fewer alarms to the console than
+    # the monoculture policy, and per-host alarm rates stay at a few per week.
+    assert percentile_row["8-partial"] <= percentile_row["homogeneous"] * 1.2
+    assert 0.0 < result.per_host_rate("99th-percentile", "full-diversity") < 20.0

@@ -1,0 +1,37 @@
+"""Benchmarks reproducing Figure 4 (attacker effectiveness) and Figure 5 (Storm replay)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import run_fig4, run_fig5
+
+
+def test_bench_fig4_attacker_effectiveness(benchmark, bench_population):
+    """Figure 4: naive-attacker detection curves and mimicry hidden traffic."""
+    result = run_once(benchmark, run_fig4, bench_population)
+    print("\n" + result.render())
+    # Paper shape (4a): the diversity policies detect stealthy attacks on far
+    # more hosts than the monoculture configuration.
+    assert result.stealthy_detection_gap(stealthy_max=100.0) > 0.1
+    # Paper shape (4b): a mimicry attacker can hide roughly 3x less traffic
+    # under full diversity than under the monoculture threshold.
+    medians = result.median_hidden_traffic()
+    assert medians["full-diversity"] < medians["homogeneous"]
+    assert medians["homogeneous"] / max(medians["full-diversity"], 1e-9) > 1.5
+
+
+def test_bench_fig5_storm_replay(benchmark, bench_population):
+    """Figure 5: Storm zombie overlay — FP/detection scatter per policy."""
+    result = run_once(benchmark, run_fig5, bench_population)
+    print("\n" + result.render())
+    # Paper shape: full diversity detects the zombie on more hosts while
+    # keeping every host's false-positive rate bounded; under the monoculture
+    # the heaviest hosts' false-positive rates blow up.
+    assert result.mean_detection("full-diversity") > result.mean_detection("homogeneous")
+    assert result.max_false_positive("full-diversity") < result.max_false_positive("homogeneous")
+    # Partial diversity stays close to full diversity.
+    assert abs(
+        result.mean_detection("8-partial") - result.mean_detection("full-diversity")
+    ) < 0.2

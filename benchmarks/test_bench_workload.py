@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the substrate: generation, extraction, assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.features.extractor import extract_feature_matrix
+from repro.traces.assembler import assemble_connections
+from repro.utils.rng import RandomSource
+from repro.utils.timeutils import HOUR, WEEK
+from repro.workload.enterprise import EnterpriseConfig, generate_enterprise
+from repro.workload.generator import HostSeriesGenerator, HostTraceGenerator
+from repro.workload.profiles import sample_host_profile
+
+
+def test_bench_generate_small_population(benchmark):
+    """Time to generate a 25-host, one-week population (series fast path)."""
+    result = run_once(
+        benchmark, generate_enterprise, EnterpriseConfig(num_hosts=25, num_weeks=1, seed=1)
+    )
+    assert len(result) == 25
+
+
+def test_bench_generate_single_host_series(benchmark):
+    """Time to generate one host's five-week feature series."""
+    source = RandomSource(3)
+    profile = sample_host_profile(0, source)
+    generator = HostSeriesGenerator(profile=profile)
+    matrix = run_once(benchmark, generator.generate, 5 * WEEK, source)
+    assert matrix.num_weeks() == 5
+
+
+def test_bench_packet_pipeline(benchmark):
+    """Time the packet path: session scheduling -> packets -> assembly -> features."""
+    source = RandomSource(5)
+    profile = sample_host_profile(1, source)
+    generator = HostTraceGenerator(profile=profile, sessions_per_hour=4.0)
+
+    def pipeline():
+        packets = generator.generate_packets(4 * HOUR, source)
+        records = assemble_connections(packets, generator.host_ip)
+        return extract_feature_matrix(1, records, duration=4 * HOUR)
+
+    matrix = run_once(benchmark, pipeline)
+    assert matrix.num_bins >= 1

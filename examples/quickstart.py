@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: generate a small enterprise, compare the three HIDS policies.
+
+Runs in a few seconds and prints, for each policy, the per-host utility, the
+number of false alarms reaching the IT console, and the fraction of hosts
+that detect a moderate injected attack.
+
+Usage::
+
+    python examples/quickstart.py [--hosts 60] [--seed 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import Feature, PolicyComparison, quick_population
+from repro.attacks.naive import NaiveAttacker
+from repro.core.experiment import ExperimentContext
+from repro.experiments.report import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=60, help="number of end hosts to simulate")
+    parser.add_argument("--seed", type=int, default=7, help="workload generation seed")
+    parser.add_argument("--attack-size", type=float, default=100.0, help="injected connections per window")
+    args = parser.parse_args()
+
+    print(f"Generating a {args.hosts}-host, 2-week enterprise population (seed {args.seed})...")
+    population = quick_population(num_hosts=args.hosts, num_weeks=2, seed=args.seed)
+    comparison = PolicyComparison(ExperimentContext(population))
+
+    feature = Feature.TCP_CONNECTIONS
+
+    def attack_builder(host_id, matrix):
+        return NaiveAttacker(feature=feature, attack_size=args.attack_size).build(
+            matrix, np.random.default_rng(host_id)
+        )
+
+    results = comparison.run(feature, attack_builder=attack_builder)
+
+    rows = []
+    for name, evaluation in results.items():
+        rows.append(
+            [
+                name,
+                evaluation.assignment.distinct_threshold_count(),
+                round(evaluation.mean_utility(), 4),
+                evaluation.total_false_alarms(),
+                round(evaluation.fraction_raising_alarm(), 3),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["policy", "distinct thresholds", "mean utility", "false alarms/week", "detects attack"],
+            rows,
+            title=(
+                f"Policy comparison on {feature.value} "
+                f"(attack size {args.attack_size:g} connections/window)"
+            ),
+        )
+    )
+    print(
+        "\nThe monoculture (homogeneous) policy uses a single threshold for everyone;"
+        "\nthe diversity policies detect the injected attack on far more hosts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — reproduction of "Impact of IT Monoculture on Behavioral End Host Intrusion Detection".
+
+The package is organised as:
+
+* :mod:`repro.core` — configuration policies (homogeneous / full-diversity /
+  partial-diversity), threshold heuristics, detectors, HIDS agents, the
+  central IT console and the evaluation harness (the paper's contribution).
+* :mod:`repro.stats` — empirical distributions, streaming quantiles,
+  histograms, heavy-tailed samplers, k-means.
+* :mod:`repro.traces` — packet/flow model, TCP connection assembly, protocol
+  classification, capture sessions, serialization.
+* :mod:`repro.features` — the six Table-1 features and their extraction into
+  binned time series.
+* :mod:`repro.workload` — the synthetic 350-host enterprise population that
+  substitutes for the paper's proprietary traces.
+* :mod:`repro.attacks` — naive / mimicry attackers, scan / DDoS / spam
+  primitives, the Storm zombie model and attack overlay machinery.
+* :mod:`repro.experiments` — one driver per paper figure/table.
+
+Quickstart::
+
+    from repro import quick_population, PolicyComparison, Feature
+    from repro.core.experiment import ExperimentContext
+
+    population = quick_population(num_hosts=60, num_weeks=2, seed=7)
+    comparison = PolicyComparison(ExperimentContext(population))
+    results = comparison.run(Feature.TCP_CONNECTIONS)
+    for name, evaluation in results.items():
+        print(name, round(evaluation.mean_utility(), 4))
+"""
+
+from repro.core.experiment import ExperimentContext, PolicyComparison, build_context
+from repro.core.policies import (
+    ConfigurationPolicy,
+    FullDiversityPolicy,
+    HomogeneousPolicy,
+    PartialDiversityPolicy,
+)
+from repro.core.thresholds import (
+    FMeasureHeuristic,
+    MeanStdHeuristic,
+    PercentileHeuristic,
+    UtilityHeuristic,
+)
+from repro.features.definitions import Feature, PAPER_FEATURES
+from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation, generate_enterprise
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Feature",
+    "PAPER_FEATURES",
+    "EnterpriseConfig",
+    "EnterprisePopulation",
+    "generate_enterprise",
+    "quick_population",
+    "ConfigurationPolicy",
+    "HomogeneousPolicy",
+    "FullDiversityPolicy",
+    "PartialDiversityPolicy",
+    "PercentileHeuristic",
+    "MeanStdHeuristic",
+    "UtilityHeuristic",
+    "FMeasureHeuristic",
+    "ExperimentContext",
+    "PolicyComparison",
+    "build_context",
+    "__version__",
+]
+
+
+def quick_population(num_hosts: int = 60, num_weeks: int = 2, seed: int = 7) -> EnterprisePopulation:
+    """Generate a small population suitable for examples and quick experiments.
+
+    The defaults (60 hosts, 2 weeks) run in a few seconds while still showing
+    the qualitative results; pass ``num_hosts=350, num_weeks=5`` to match the
+    paper's scale.
+    """
+    config = EnterpriseConfig(num_hosts=num_hosts, num_weeks=num_weeks, seed=seed)
+    return generate_enterprise(config)

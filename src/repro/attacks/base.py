@@ -1,0 +1,124 @@
+"""Attack interfaces and attack traces.
+
+An attack is represented as additional per-bin feature counts — an
+:class:`AttackTrace` — aligned with a victim host's benign feature series.
+Overlaying the attack on the benign series is a simple element-wise addition
+(the paper's additivity assumption), done by :mod:`repro.attacks.injection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.features.definitions import Feature
+from repro.features.timeseries import FeatureMatrix, TimeSeries
+from repro.utils.timeutils import BinSpec
+from repro.utils.validation import require, require_non_negative
+
+
+@dataclass(frozen=True)
+class FeatureInjection:
+    """Additional counts injected into one feature, per bin."""
+
+    feature: Feature
+    amounts: np.ndarray
+
+    def __post_init__(self) -> None:
+        amounts = np.asarray(self.amounts, dtype=float)
+        require(amounts.ndim == 1, "amounts must be one-dimensional")
+        require(np.all(amounts >= 0), "attack amounts must be non-negative")
+        object.__setattr__(self, "amounts", amounts)
+
+    @property
+    def total(self) -> float:
+        """Total injected volume over the whole trace."""
+        return float(np.sum(self.amounts))
+
+    @property
+    def active_bins(self) -> int:
+        """Number of bins with a non-zero injection."""
+        return int(np.count_nonzero(self.amounts))
+
+
+@dataclass(frozen=True)
+class AttackTrace:
+    """A complete attack: injections for one or more features on one host.
+
+    Attributes
+    ----------
+    name:
+        Human-readable attack name ("naive-50", "storm-zombie", ...).
+    injections:
+        Per-feature injected amounts (all arrays share the same length).
+    bin_spec:
+        The binning of the injection arrays.
+    """
+
+    name: str
+    injections: Mapping[Feature, FeatureInjection]
+    bin_spec: BinSpec
+
+    def __post_init__(self) -> None:
+        require(len(self.injections) > 0, "attack trace requires at least one injected feature")
+        lengths = {injection.amounts.size for injection in self.injections.values()}
+        require(len(lengths) == 1, "all injections must cover the same number of bins")
+
+    @property
+    def num_bins(self) -> int:
+        """Number of bins covered by the attack."""
+        return next(iter(self.injections.values())).amounts.size
+
+    @property
+    def features(self) -> Sequence[Feature]:
+        """Features targeted by the attack."""
+        return tuple(self.injections.keys())
+
+    def injection(self, feature: Feature) -> Optional[FeatureInjection]:
+        """Injection for ``feature`` (None if the attack does not touch it)."""
+        return self.injections.get(feature)
+
+    def amounts(self, feature: Feature) -> np.ndarray:
+        """Injected per-bin amounts for ``feature`` (zeros if untouched)."""
+        injection = self.injections.get(feature)
+        if injection is None:
+            return np.zeros(self.num_bins)
+        return injection.amounts
+
+    def attack_bins(self, feature: Feature) -> np.ndarray:
+        """Boolean mask of bins where the attack is active for ``feature``."""
+        return self.amounts(feature) > 0
+
+
+class Attack:
+    """Interface: build an attack trace against a specific victim host.
+
+    The victim's benign feature matrix is provided because the resourceful
+    attacker needs it to profile the host; naive attackers ignore it.
+    """
+
+    name = "attack"
+
+    def build(self, victim: FeatureMatrix, rng: np.random.Generator) -> AttackTrace:
+        """Return the attack trace to overlay on ``victim``."""
+        raise NotImplementedError
+
+
+def uniform_injection(
+    feature: Feature,
+    amount_per_bin: float,
+    num_bins: int,
+    bin_spec: BinSpec,
+    name: Optional[str] = None,
+) -> AttackTrace:
+    """Build an attack that adds ``amount_per_bin`` to every bin of one feature."""
+    require_non_negative(amount_per_bin, "amount_per_bin")
+    require(num_bins >= 1, "num_bins must be >= 1")
+    injection = FeatureInjection(feature=feature, amounts=np.full(num_bins, float(amount_per_bin)))
+    return AttackTrace(
+        name=name or f"uniform-{feature.value}-{amount_per_bin:g}",
+        injections={feature: injection},
+        bin_spec=bin_spec,
+    )

@@ -1,0 +1,93 @@
+"""Core contribution: HIDS configuration policies and their evaluation.
+
+A *policy* pairs a threshold-selection heuristic with a grouping method:
+
+* **Homogeneous** (monoculture): every host gets the global threshold
+  computed from the pooled population distribution — today's IT practice.
+* **Full diversity**: every host computes its own threshold locally.
+* **Partial diversity**: hosts are partitioned into a small number of groups
+  (8 in the paper), one threshold per group.
+
+The evaluation machinery measures, for each host, the false-positive /
+false-negative operating point, the per-host utility
+``U = 1 - [w * FN + (1 - w) * FP]``, alarm volumes at the central IT console,
+and how much traffic attackers can hide under each policy.
+"""
+
+from repro.core.thresholds import (
+    FMeasureHeuristic,
+    MeanStdHeuristic,
+    PercentileHeuristic,
+    ThresholdHeuristic,
+    UtilityHeuristic,
+)
+from repro.core.grouping import (
+    GroupAssignment,
+    GroupingStrategy,
+    KMeansGrouping,
+    PerHostGrouping,
+    QuantileSplitGrouping,
+    SingleGroupGrouping,
+)
+from repro.core.policies import (
+    ConfigurationPolicy,
+    FullDiversityPolicy,
+    HomogeneousPolicy,
+    PartialDiversityPolicy,
+    ThresholdAssignment,
+)
+from repro.core.detector import Alert, ThresholdDetector
+from repro.core.hids import AlertBatch, HIDSAgent, HIDSConfiguration
+from repro.core.console import CentralConsole, ConsoleReport
+from repro.core.metrics import (
+    OperatingPoint,
+    f_measure,
+    precision_recall,
+    utility,
+)
+from repro.core.evaluation import (
+    EvaluationProtocol,
+    HostPerformance,
+    PolicyEvaluation,
+    evaluate_policy_on_feature,
+    weekly_train_test_pairs,
+)
+from repro.core.experiment import ExperimentContext, PolicyComparison, build_context
+
+__all__ = [
+    "ThresholdHeuristic",
+    "PercentileHeuristic",
+    "MeanStdHeuristic",
+    "FMeasureHeuristic",
+    "UtilityHeuristic",
+    "GroupingStrategy",
+    "GroupAssignment",
+    "SingleGroupGrouping",
+    "PerHostGrouping",
+    "QuantileSplitGrouping",
+    "KMeansGrouping",
+    "ConfigurationPolicy",
+    "HomogeneousPolicy",
+    "FullDiversityPolicy",
+    "PartialDiversityPolicy",
+    "ThresholdAssignment",
+    "ThresholdDetector",
+    "Alert",
+    "HIDSAgent",
+    "HIDSConfiguration",
+    "AlertBatch",
+    "CentralConsole",
+    "ConsoleReport",
+    "OperatingPoint",
+    "utility",
+    "f_measure",
+    "precision_recall",
+    "EvaluationProtocol",
+    "HostPerformance",
+    "PolicyEvaluation",
+    "evaluate_policy_on_feature",
+    "weekly_train_test_pairs",
+    "ExperimentContext",
+    "PolicyComparison",
+    "build_context",
+]

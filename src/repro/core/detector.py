@@ -1,0 +1,159 @@
+"""Per-feature threshold detectors.
+
+The detector is deliberately simple — exactly what the paper assumes: a
+per-bin count compared against a threshold, raising an alert when the count
+exceeds it.  The value of the reproduction is in how the thresholds are
+*chosen* (the policies), not in detector sophistication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.features.definitions import Feature
+from repro.features.timeseries import TimeSeries
+from repro.utils.validation import require, require_non_negative
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One alert raised by a detector.
+
+    Attributes
+    ----------
+    host_id:
+        The host whose detector fired.
+    feature:
+        The feature that exceeded its threshold.
+    bin_index:
+        Index of the offending bin within the evaluated series.
+    timestamp:
+        Start time of the offending bin.
+    observed_value:
+        The per-bin count that triggered the alert.
+    threshold:
+        The threshold in force when the alert fired.
+    is_true_positive:
+        Ground truth (filled by the evaluation harness when attack traffic is
+        present in the bin); None when ground truth is unknown.
+    """
+
+    host_id: int
+    feature: Feature
+    bin_index: int
+    timestamp: float
+    observed_value: float
+    threshold: float
+    is_true_positive: Optional[bool] = None
+
+    @property
+    def excess(self) -> float:
+        """How far above the threshold the observation was."""
+        return self.observed_value - self.threshold
+
+
+class ThresholdDetector:
+    """A single-feature threshold detector for one host."""
+
+    def __init__(self, host_id: int, feature: Feature, threshold: float) -> None:
+        require_non_negative(threshold, "threshold")
+        self._host_id = int(host_id)
+        self._feature = feature
+        self._threshold = float(threshold)
+
+    @property
+    def host_id(self) -> int:
+        """The monitored host."""
+        return self._host_id
+
+    @property
+    def feature(self) -> Feature:
+        """The monitored feature."""
+        return self._feature
+
+    @property
+    def threshold(self) -> float:
+        """The detection threshold currently in force."""
+        return self._threshold
+
+    def update_threshold(self, threshold: float) -> None:
+        """Install a new threshold (weekly re-learning pushes these out)."""
+        require_non_negative(threshold, "threshold")
+        self._threshold = float(threshold)
+
+    def check(self, value: float) -> bool:
+        """True when a single observation exceeds the threshold."""
+        return value > self._threshold
+
+    def evaluate(
+        self,
+        series: TimeSeries,
+        attack_mask: Optional[Sequence[bool]] = None,
+    ) -> List[Alert]:
+        """Run the detector over a series and return the alerts raised.
+
+        Parameters
+        ----------
+        series:
+            The observed per-bin counts (benign, or benign plus injected
+            attack traffic).
+        attack_mask:
+            Optional ground-truth mask marking which bins carry attack
+            traffic; when provided, each alert is labelled true/false
+            positive.
+        """
+        values = np.asarray(series.values)
+        if attack_mask is not None:
+            mask = np.asarray(attack_mask, dtype=bool)
+            require(mask.size == values.size, "attack_mask must match the series length")
+        alerts: List[Alert] = []
+        exceeded = np.nonzero(values > self._threshold)[0]
+        for bin_index in exceeded:
+            is_true_positive = bool(mask[bin_index]) if attack_mask is not None else None
+            alerts.append(
+                Alert(
+                    host_id=self._host_id,
+                    feature=self._feature,
+                    bin_index=int(bin_index),
+                    timestamp=series.bin_spec.start_of(int(bin_index)),
+                    observed_value=float(values[bin_index]),
+                    threshold=self._threshold,
+                    is_true_positive=is_true_positive,
+                )
+            )
+        return alerts
+
+    def alarm_count(self, series: TimeSeries) -> int:
+        """Number of bins in ``series`` that would raise an alarm."""
+        return series.exceedance_count(self._threshold)
+
+    def false_positive_rate(self, benign_series: TimeSeries) -> float:
+        """Fraction of benign bins that raise an alarm."""
+        return benign_series.exceedance_rate(self._threshold)
+
+    def false_negative_rate(
+        self, benign_series: TimeSeries, attack_amounts: Sequence[float]
+    ) -> float:
+        """Fraction of attacked bins that fail to raise an alarm.
+
+        ``attack_amounts`` gives the injected volume per bin; bins with zero
+        injection do not count towards the rate.
+        """
+        benign = np.asarray(benign_series.values)
+        amounts = np.asarray(attack_amounts, dtype=float)
+        require(amounts.size == benign.size, "attack_amounts must match the series length")
+        attacked = amounts > 0
+        if not np.any(attacked):
+            return 0.0
+        observed = benign[attacked] + amounts[attacked]
+        missed = np.count_nonzero(observed <= self._threshold)
+        return float(missed) / int(np.count_nonzero(attacked))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ThresholdDetector(host={self._host_id}, feature={self._feature.value}, "
+            f"threshold={self._threshold:.3g})"
+        )

@@ -1,0 +1,143 @@
+"""Experiment orchestration.
+
+Thin layer the figure/table drivers and examples build on: a shared
+:class:`ExperimentContext` (the generated population plus the default
+protocol) and :class:`PolicyComparison`, which evaluates the paper's three
+policies side by side under identical conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.evaluation import (
+    AttackBuilder,
+    EvaluationProtocol,
+    PolicyEvaluation,
+    evaluate_policy_on_feature,
+)
+from repro.core.policies import (
+    ConfigurationPolicy,
+    FullDiversityPolicy,
+    HomogeneousPolicy,
+    PartialDiversityPolicy,
+)
+from repro.core.thresholds import ThresholdHeuristic
+from repro.features.definitions import Feature
+from repro.features.timeseries import FeatureMatrix
+from repro.utils.validation import require
+from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation, generate_enterprise
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment driver needs: the population and defaults."""
+
+    population: EnterprisePopulation
+    train_week: int = 0
+    test_week: int = 1
+
+    def __post_init__(self) -> None:
+        weeks = self.population.config.num_weeks
+        require(self.train_week < weeks and self.test_week < weeks, "train/test weeks out of range")
+
+    @property
+    def matrices(self) -> Dict[int, FeatureMatrix]:
+        """Per-host benign feature matrices."""
+        return self.population.matrices()
+
+    def protocol(self, feature: Feature, utility_weight: float = 0.4) -> EvaluationProtocol:
+        """Build the default protocol for ``feature``."""
+        return EvaluationProtocol(
+            feature=feature,
+            train_week=self.train_week,
+            test_week=self.test_week,
+            utility_weight=utility_weight,
+        )
+
+
+def build_context(
+    config: Optional[EnterpriseConfig] = None,
+    train_week: int = 0,
+    test_week: int = 1,
+) -> ExperimentContext:
+    """Generate the population and wrap it in an :class:`ExperimentContext`."""
+    population = generate_enterprise(config)
+    return ExperimentContext(population=population, train_week=train_week, test_week=test_week)
+
+
+def standard_policies(
+    heuristic: Optional[ThresholdHeuristic] = None,
+    partial_groups: int = 8,
+) -> List[ConfigurationPolicy]:
+    """The paper's three policies, sharing one threshold heuristic."""
+    return [
+        HomogeneousPolicy(heuristic),
+        FullDiversityPolicy(heuristic),
+        PartialDiversityPolicy(heuristic, num_groups=partial_groups),
+    ]
+
+
+class PolicyComparison:
+    """Evaluate several policies under identical conditions.
+
+    Parameters
+    ----------
+    context:
+        The shared experiment context (population, train/test weeks).
+    policies:
+        The policies to compare; defaults to the paper's three.
+    """
+
+    def __init__(
+        self,
+        context: ExperimentContext,
+        policies: Optional[Sequence[ConfigurationPolicy]] = None,
+    ) -> None:
+        self._context = context
+        self._policies = list(policies) if policies is not None else standard_policies()
+
+    @property
+    def policies(self) -> Sequence[ConfigurationPolicy]:
+        """The policies under comparison."""
+        return tuple(self._policies)
+
+    @property
+    def context(self) -> ExperimentContext:
+        """The shared experiment context."""
+        return self._context
+
+    def run(
+        self,
+        feature: Feature,
+        utility_weight: float = 0.4,
+        attack_builder: Optional[AttackBuilder] = None,
+    ) -> Dict[str, PolicyEvaluation]:
+        """Evaluate every policy on ``feature`` and return results by policy name."""
+        protocol = self._context.protocol(feature, utility_weight)
+        matrices = self._context.matrices
+        results: Dict[str, PolicyEvaluation] = {}
+        for policy in self._policies:
+            results[policy.name] = evaluate_policy_on_feature(
+                matrices, policy, protocol, attack_builder=attack_builder
+            )
+        return results
+
+    def mean_utilities(
+        self,
+        feature: Feature,
+        weights: Sequence[float],
+        attack_builder: Optional[AttackBuilder] = None,
+    ) -> Dict[str, List[float]]:
+        """Average utility per policy across a sweep of utility weights.
+
+        This is the Figure 3(b) computation: the (FP, FN) operating points are
+        measured once per policy, then re-weighted for every ``w``.
+        """
+        require(len(weights) > 0, "at least one weight is required")
+        evaluations = self.run(feature, utility_weight=weights[0], attack_builder=attack_builder)
+        return {
+            name: [evaluation.mean_utility(weight) for weight in weights]
+            for name, evaluation in evaluations.items()
+        }

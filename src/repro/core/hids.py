@@ -1,0 +1,174 @@
+"""Host intrusion detection agents.
+
+An :class:`HIDSAgent` bundles one :class:`~repro.core.detector.ThresholdDetector`
+per monitored feature for one host, mirrors how commercial behavioural HIDS
+batch their alerts, and ships those batches to the central console
+periodically (the paper: "alerts ... are sent periodically to IT").  Agents
+can also operate in streaming mode, consuming window counts from
+:class:`~repro.features.streaming.StreamingFeatureCounter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.detector import Alert, ThresholdDetector
+from repro.features.definitions import Feature
+from repro.features.streaming import WindowCounts
+from repro.features.timeseries import FeatureMatrix
+from repro.utils.timeutils import DAY
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class HIDSConfiguration:
+    """The configuration pushed to one host by the IT policy.
+
+    Attributes
+    ----------
+    host_id:
+        The configured host.
+    thresholds:
+        Per-feature detection thresholds.
+    batch_interval:
+        How often (seconds) the agent ships its accumulated alerts to the
+        central console.
+    """
+
+    host_id: int
+    thresholds: Mapping[Feature, float]
+    batch_interval: float = DAY
+
+    def __post_init__(self) -> None:
+        require(len(self.thresholds) > 0, "configuration must cover at least one feature")
+        require_positive(self.batch_interval, "batch_interval")
+        require(all(value >= 0 for value in self.thresholds.values()), "thresholds must be non-negative")
+
+    def threshold(self, feature: Feature) -> float:
+        """Threshold for ``feature``."""
+        return float(self.thresholds[feature])
+
+
+@dataclass(frozen=True)
+class AlertBatch:
+    """A batch of alerts shipped from one agent to the console."""
+
+    host_id: int
+    ship_time: float
+    alerts: Sequence[Alert]
+
+    @property
+    def alert_count(self) -> int:
+        """Number of alerts in the batch."""
+        return len(self.alerts)
+
+
+class HIDSAgent:
+    """The per-host behavioural HIDS.
+
+    Parameters
+    ----------
+    configuration:
+        The thresholds (and batching interval) pushed by the IT policy.
+    """
+
+    def __init__(self, configuration: HIDSConfiguration) -> None:
+        self._configuration = configuration
+        self._detectors: Dict[Feature, ThresholdDetector] = {
+            feature: ThresholdDetector(configuration.host_id, feature, threshold)
+            for feature, threshold in configuration.thresholds.items()
+        }
+        self._pending: List[Alert] = []
+        self._last_ship_time = 0.0
+
+    @property
+    def host_id(self) -> int:
+        """The monitored host."""
+        return self._configuration.host_id
+
+    @property
+    def configuration(self) -> HIDSConfiguration:
+        """The active configuration."""
+        return self._configuration
+
+    @property
+    def monitored_features(self) -> Sequence[Feature]:
+        """Features this agent monitors."""
+        return tuple(self._detectors.keys())
+
+    @property
+    def pending_alert_count(self) -> int:
+        """Alerts accumulated but not yet shipped."""
+        return len(self._pending)
+
+    def detector(self, feature: Feature) -> ThresholdDetector:
+        """The detector for ``feature``."""
+        return self._detectors[feature]
+
+    def reconfigure(self, configuration: HIDSConfiguration) -> None:
+        """Install a new configuration (weekly threshold update)."""
+        require(configuration.host_id == self.host_id, "configuration targets a different host")
+        self._configuration = configuration
+        for feature, threshold in configuration.thresholds.items():
+            if feature in self._detectors:
+                self._detectors[feature].update_threshold(threshold)
+            else:
+                self._detectors[feature] = ThresholdDetector(self.host_id, feature, threshold)
+
+    # ------------------------------------------------------------------ batch
+    def evaluate_matrix(self, matrix: FeatureMatrix) -> List[Alert]:
+        """Run every detector over a (benign or injected) feature matrix."""
+        require(matrix.host_id == self.host_id, "matrix belongs to a different host")
+        alerts: List[Alert] = []
+        for feature, detector in self._detectors.items():
+            if feature in matrix:
+                alerts.extend(detector.evaluate(matrix.series(feature)))
+        alerts.sort(key=lambda alert: (alert.timestamp, alert.feature.value))
+        self._pending.extend(alerts)
+        return alerts
+
+    # -------------------------------------------------------------- streaming
+    def observe_window(self, window: WindowCounts) -> List[Alert]:
+        """Check one closed window's counts against every detector."""
+        alerts: List[Alert] = []
+        for feature, detector in self._detectors.items():
+            value = window.count(feature)
+            if detector.check(value):
+                alerts.append(
+                    Alert(
+                        host_id=self.host_id,
+                        feature=feature,
+                        bin_index=window.window_index,
+                        timestamp=window.start_time,
+                        observed_value=value,
+                        threshold=detector.threshold,
+                    )
+                )
+        self._pending.extend(alerts)
+        return alerts
+
+    def ship_batch(self, now: float) -> Optional[AlertBatch]:
+        """Ship accumulated alerts if the batching interval has elapsed.
+
+        Returns the shipped batch, or None when it is not yet time to ship or
+        there is nothing to ship.
+        """
+        if now - self._last_ship_time < self._configuration.batch_interval:
+            return None
+        if not self._pending:
+            self._last_ship_time = now
+            return None
+        batch = AlertBatch(host_id=self.host_id, ship_time=now, alerts=tuple(self._pending))
+        self._pending = []
+        self._last_ship_time = now
+        return batch
+
+    def flush(self, now: float) -> Optional[AlertBatch]:
+        """Ship whatever is pending regardless of the batching interval."""
+        if not self._pending:
+            return None
+        batch = AlertBatch(host_id=self.host_id, ship_time=now, alerts=tuple(self._pending))
+        self._pending = []
+        self._last_ship_time = now
+        return batch

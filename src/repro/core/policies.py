@@ -1,0 +1,211 @@
+"""Configuration policies: threshold heuristic + grouping method.
+
+A :class:`ConfigurationPolicy` computes, for one feature, the detection
+threshold every host in the population should use.  The three named policies
+from the paper are provided as thin wrappers with the right grouping method
+pre-selected; arbitrary combinations can be built directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.grouping import (
+    GroupAssignment,
+    GroupingStrategy,
+    PerHostGrouping,
+    QuantileSplitGrouping,
+    SingleGroupGrouping,
+)
+from repro.core.thresholds import DEFAULT_PERCENTILE, PercentileHeuristic, ThresholdHeuristic
+from repro.stats.empirical import EmpiricalDistribution
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class ThresholdAssignment:
+    """The outcome of applying a policy: per-host thresholds plus provenance.
+
+    Attributes
+    ----------
+    thresholds:
+        Mapping from host id to the threshold it must use.
+    grouping:
+        The group assignment the thresholds were computed under.
+    group_thresholds:
+        The threshold computed for each group (indexed like
+        ``grouping.groups``).
+    policy_name:
+        Name of the policy that produced the assignment.
+    """
+
+    thresholds: Mapping[int, float]
+    grouping: GroupAssignment
+    group_thresholds: Tuple[float, ...]
+    policy_name: str
+
+    def __post_init__(self) -> None:
+        require(len(self.thresholds) > 0, "assignment must cover at least one host")
+        require(
+            len(self.group_thresholds) == self.grouping.num_groups,
+            "one threshold per group is required",
+        )
+
+    def threshold_of(self, host_id: int) -> float:
+        """Threshold assigned to ``host_id``."""
+        return float(self.thresholds[host_id])
+
+    @property
+    def host_ids(self) -> Tuple[int, ...]:
+        """Hosts covered by the assignment, sorted."""
+        return tuple(sorted(self.thresholds))
+
+    def distinct_threshold_count(self) -> int:
+        """Number of distinct threshold values in force across the population.
+
+        1 for homogeneous, ~number of hosts for full diversity, ~number of
+        groups for partial diversity — the management-overhead proxy IT
+        operators care about.
+        """
+        return len({round(value, 9) for value in self.thresholds.values()})
+
+    def lowest_threshold_hosts(self, count: int = 10) -> Tuple[int, ...]:
+        """The ``count`` hosts with the lowest thresholds ("best" detectors).
+
+        These are the paper's Table 2 entries: hosts whose thresholds are so
+        low that they can catch stealthy attacks the rest of the population
+        misses.
+        """
+        require(count >= 1, "count must be >= 1")
+        ranked = sorted(self.thresholds, key=lambda host: (self.thresholds[host], host))
+        return tuple(ranked[:count])
+
+
+class ConfigurationPolicy:
+    """A policy = threshold heuristic + grouping strategy.
+
+    Parameters
+    ----------
+    heuristic:
+        How a training distribution is turned into a threshold.
+    grouping:
+        How the population is partitioned; each group's threshold is computed
+        from the pooled distribution of its members (exactly one host for
+        full diversity, the whole population for homogeneous).
+    name:
+        Display name; defaults to "<grouping>/<heuristic>".
+    """
+
+    def __init__(
+        self,
+        heuristic: ThresholdHeuristic,
+        grouping: GroupingStrategy,
+        name: Optional[str] = None,
+    ) -> None:
+        self._heuristic = heuristic
+        self._grouping = grouping
+        self._name = name or f"{grouping.name}/{heuristic.name}"
+
+    @property
+    def name(self) -> str:
+        """Display name of the policy."""
+        return self._name
+
+    @property
+    def heuristic(self) -> ThresholdHeuristic:
+        """The threshold heuristic in use."""
+        return self._heuristic
+
+    @property
+    def grouping(self) -> GroupingStrategy:
+        """The grouping strategy in use."""
+        return self._grouping
+
+    def compute_thresholds(
+        self,
+        training_distributions: Mapping[int, EmpiricalDistribution],
+        grouping_statistic_percentile: float = DEFAULT_PERCENTILE,
+    ) -> ThresholdAssignment:
+        """Compute every host's threshold from per-host training distributions.
+
+        Parameters
+        ----------
+        training_distributions:
+            Per-host empirical distributions of the feature, built from the
+            training week.
+        grouping_statistic_percentile:
+            The percentile of each host's training distribution used as the
+            grouping statistic (the paper groups on the 99th percentile).
+        """
+        require(len(training_distributions) > 0, "training data must cover at least one host")
+        statistics = {
+            host_id: distribution.percentile(grouping_statistic_percentile)
+            for host_id, distribution in training_distributions.items()
+        }
+        assignment = self._grouping.assign(statistics)
+
+        group_thresholds: List[float] = []
+        thresholds: Dict[int, float] = {}
+        for group in assignment.groups:
+            members = [training_distributions[host_id] for host_id in group]
+            threshold = float(self._heuristic.threshold_for_group(members))
+            group_thresholds.append(threshold)
+            for host_id in group:
+                thresholds[host_id] = threshold
+
+        return ThresholdAssignment(
+            thresholds=thresholds,
+            grouping=assignment,
+            group_thresholds=tuple(group_thresholds),
+            policy_name=self._name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ConfigurationPolicy({self._name})"
+
+
+class HomogeneousPolicy(ConfigurationPolicy):
+    """The monoculture policy: one global threshold for every host."""
+
+    def __init__(self, heuristic: Optional[ThresholdHeuristic] = None) -> None:
+        super().__init__(
+            heuristic=heuristic if heuristic is not None else PercentileHeuristic(),
+            grouping=SingleGroupGrouping(),
+            name="homogeneous",
+        )
+
+
+class FullDiversityPolicy(ConfigurationPolicy):
+    """The full-diversity policy: every host computes its own threshold."""
+
+    def __init__(self, heuristic: Optional[ThresholdHeuristic] = None) -> None:
+        super().__init__(
+            heuristic=heuristic if heuristic is not None else PercentileHeuristic(),
+            grouping=PerHostGrouping(),
+            name="full-diversity",
+        )
+
+
+class PartialDiversityPolicy(ConfigurationPolicy):
+    """The partial-diversity policy: a small number of per-group thresholds.
+
+    Defaults to the paper's 8-group configuration (top 15% of hosts split
+    into 4 groups, remaining 85% into 4 groups).
+    """
+
+    def __init__(
+        self,
+        heuristic: Optional[ThresholdHeuristic] = None,
+        num_groups: int = 8,
+        heavy_fraction: float = 0.15,
+    ) -> None:
+        require(num_groups >= 2 and num_groups % 2 == 0, "num_groups must be an even number >= 2")
+        grouping = QuantileSplitGrouping(
+            heavy_fraction=heavy_fraction, groups_per_side=num_groups // 2
+        )
+        super().__init__(
+            heuristic=heuristic if heuristic is not None else PercentileHeuristic(),
+            grouping=grouping,
+            name=f"{num_groups}-partial",
+        )

@@ -1,0 +1,240 @@
+"""Threshold-selection heuristics.
+
+Section 4 of the paper considers several heuristics for turning a (pooled,
+per-group or per-host) training distribution into a detection threshold:
+
+* **Percentile** — target a false-positive rate directly; the IT operators
+  surveyed in the paper overwhelmingly use the 99th percentile.
+* **Mean + k·std** — classic outlier rule.
+* **Utility-maximising** — pick the threshold maximising
+  ``U = 1 - [w·FN + (1-w)·FP]`` against an assumed attack-size distribution.
+* **F-measure-maximising** — pick the threshold maximising the harmonic mean
+  of precision and recall against the same assumed attacks.
+
+All heuristics consume an :class:`~repro.stats.empirical.EmpiricalDistribution`
+of benign per-bin counts and return a scalar threshold, so they compose with
+any grouping method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import DEFAULT_UTILITY_WEIGHT, f_measure_from_rates, utility
+from repro.stats.empirical import EmpiricalDistribution
+from repro.utils.validation import require, require_non_negative, require_probability
+
+#: The percentile IT operators target in practice (per the paper's survey).
+DEFAULT_PERCENTILE = 99.0
+
+
+class ThresholdHeuristic:
+    """Interface: map benign training data to a detection threshold.
+
+    Two entry points exist:
+
+    * :meth:`threshold` — compute a threshold from a single (possibly pooled)
+      distribution.  Percentile and mean+std heuristics only need this.
+    * :meth:`threshold_for_group` — compute the single threshold a *group* of
+      hosts will share, given each member's own distribution.  The default
+      pools the members and delegates to :meth:`threshold`; utility- and
+      F-measure-maximising heuristics override it to pick the threshold that
+      maximises the *average member* objective, which is what the paper's
+      utility heuristic does when one threshold must serve many users.
+    """
+
+    name = "heuristic"
+
+    def threshold(self, distribution: EmpiricalDistribution) -> float:
+        """Return the threshold for a detector trained on ``distribution``."""
+        raise NotImplementedError
+
+    def threshold_for_group(self, distributions: Sequence[EmpiricalDistribution]) -> float:
+        """Return the shared threshold for a group of member distributions."""
+        require(len(distributions) > 0, "group must contain at least one distribution")
+        if len(distributions) == 1:
+            return self.threshold(distributions[0])
+        return self.threshold(EmpiricalDistribution.pooled(list(distributions)))
+
+
+@dataclass(frozen=True)
+class PercentileHeuristic(ThresholdHeuristic):
+    """Threshold at a fixed percentile of the benign distribution.
+
+    Attributes
+    ----------
+    percentile:
+        The targeted percentile, e.g. 99.0 (at most 1% false positives on the
+        training data, by construction).
+    """
+
+    percentile: float = DEFAULT_PERCENTILE
+
+    def __post_init__(self) -> None:
+        require(0.0 < self.percentile < 100.0, "percentile must be in (0, 100)")
+
+    @property
+    def name(self) -> str:
+        return f"percentile-{self.percentile:g}"
+
+    def threshold(self, distribution: EmpiricalDistribution) -> float:
+        return distribution.percentile(self.percentile)
+
+
+@dataclass(frozen=True)
+class MeanStdHeuristic(ThresholdHeuristic):
+    """Threshold at ``mean + k * std`` of the benign distribution."""
+
+    num_std: float = 3.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.num_std, "num_std")
+
+    @property
+    def name(self) -> str:
+        return f"mean+{self.num_std:g}std"
+
+    def threshold(self, distribution: EmpiricalDistribution) -> float:
+        return distribution.mean() + self.num_std * distribution.std()
+
+
+def _candidate_thresholds(distribution: EmpiricalDistribution, num_candidates: int) -> np.ndarray:
+    """Quantile grid of candidate thresholds spanning the distribution's range."""
+    quantiles = np.linspace(0.5, 1.0, num_candidates)
+    values = np.array([distribution.quantile(min(q, 1.0)) for q in quantiles])
+    # Include a little headroom above the max so "never alarm" is a candidate.
+    return np.unique(np.append(values, distribution.max() * 1.01 + 1.0))
+
+
+def _rates_at(
+    distribution: EmpiricalDistribution, threshold: float, attack_sizes: np.ndarray
+) -> tuple:
+    """(FP, FN) at ``threshold`` for attacks uniformly drawn from ``attack_sizes``."""
+    false_positive = distribution.exceedance(threshold)
+    if attack_sizes.size == 0:
+        return false_positive, 0.0
+    misses = [1.0 - distribution.shifted_exceedance(threshold, size) for size in attack_sizes]
+    return false_positive, float(np.mean(misses))
+
+
+@dataclass(frozen=True)
+class UtilityHeuristic(ThresholdHeuristic):
+    """Threshold maximising the paper's utility against assumed attack sizes.
+
+    Attributes
+    ----------
+    weight:
+        The utility weight ``w`` (importance of false negatives).
+    attack_sizes:
+        The attack sizes (per-bin injections) the defender plans for; the
+        false-negative rate is averaged over them.  When empty, the heuristic
+        degenerates to minimising the false-positive rate (threshold above
+        the training maximum).
+    num_candidates:
+        Size of the candidate-threshold grid searched.
+    """
+
+    weight: float = DEFAULT_UTILITY_WEIGHT
+    attack_sizes: Sequence[float] = field(default_factory=lambda: (10.0, 50.0, 100.0, 500.0))
+    num_candidates: int = 200
+
+    def __post_init__(self) -> None:
+        require_probability(self.weight, "weight")
+        require(self.num_candidates >= 2, "num_candidates must be >= 2")
+        require(all(size >= 0 for size in self.attack_sizes), "attack sizes must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return f"utility-w{self.weight:g}"
+
+    def threshold(self, distribution: EmpiricalDistribution) -> float:
+        return self.threshold_for_group([distribution])
+
+    def threshold_for_group(self, distributions: Sequence[EmpiricalDistribution]) -> float:
+        """Threshold maximising the *average member* utility.
+
+        For a single host this is the paper's per-host utility-optimal
+        threshold; for the homogeneous and partial-diversity groupings it is
+        the single value that best balances the false positives of heavy
+        members against the missed detections of light members.
+        """
+        require(len(distributions) > 0, "group must contain at least one distribution")
+        pooled = (
+            distributions[0]
+            if len(distributions) == 1
+            else EmpiricalDistribution.pooled(list(distributions))
+        )
+        candidates = _candidate_thresholds(pooled, self.num_candidates)
+        sizes = np.asarray(self.attack_sizes, dtype=float)
+        best_threshold = float(candidates[0])
+        best_utility = -np.inf
+        for candidate in candidates:
+            member_utilities = []
+            for member in distributions:
+                false_positive, false_negative = _rates_at(member, float(candidate), sizes)
+                member_utilities.append(utility(false_negative, false_positive, self.weight))
+            value = float(np.mean(member_utilities))
+            if value > best_utility:
+                best_utility = value
+                best_threshold = float(candidate)
+        return best_threshold
+
+
+@dataclass(frozen=True)
+class FMeasureHeuristic(ThresholdHeuristic):
+    """Threshold maximising the F-measure against assumed attack sizes.
+
+    Attributes
+    ----------
+    attack_sizes:
+        Attack sizes the defender plans for.
+    attack_prevalence:
+        Assumed fraction of bins carrying attack traffic (needed to convert
+        rates into precision/recall).
+    num_candidates:
+        Size of the candidate-threshold grid searched.
+    """
+
+    attack_sizes: Sequence[float] = field(default_factory=lambda: (10.0, 50.0, 100.0, 500.0))
+    attack_prevalence: float = 0.01
+    num_candidates: int = 200
+
+    def __post_init__(self) -> None:
+        require_probability(self.attack_prevalence, "attack_prevalence")
+        require(self.num_candidates >= 2, "num_candidates must be >= 2")
+        require(all(size >= 0 for size in self.attack_sizes), "attack sizes must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return "f-measure"
+
+    def threshold(self, distribution: EmpiricalDistribution) -> float:
+        return self.threshold_for_group([distribution])
+
+    def threshold_for_group(self, distributions: Sequence[EmpiricalDistribution]) -> float:
+        """Threshold maximising the average member F-measure."""
+        require(len(distributions) > 0, "group must contain at least one distribution")
+        pooled = (
+            distributions[0]
+            if len(distributions) == 1
+            else EmpiricalDistribution.pooled(list(distributions))
+        )
+        candidates = _candidate_thresholds(pooled, self.num_candidates)
+        sizes = np.asarray(self.attack_sizes, dtype=float)
+        best_threshold = float(candidates[0])
+        best_score = -np.inf
+        for candidate in candidates:
+            member_scores = []
+            for member in distributions:
+                false_positive, false_negative = _rates_at(member, float(candidate), sizes)
+                member_scores.append(
+                    f_measure_from_rates(false_positive, false_negative, self.attack_prevalence)
+                )
+            score = float(np.mean(member_scores))
+            if score > best_score:
+                best_score = score
+                best_threshold = float(candidate)
+        return best_threshold

@@ -1,0 +1,39 @@
+"""Experiment drivers: one module per table/figure in the paper's evaluation.
+
+Every driver takes an :class:`~repro.workload.enterprise.EnterprisePopulation`
+(so benchmarks can use a scaled-down population) and returns a plain result
+dataclass whose fields are the rows/series the corresponding paper figure or
+table plots.  :mod:`repro.experiments.report` renders those results as text
+tables; :mod:`repro.experiments.runner` runs everything end to end.
+"""
+
+from repro.experiments.fig1_tail_diversity import TailDiversityResult, run_fig1
+from repro.experiments.fig2_feature_scatter import FeatureScatterResult, run_fig2
+from repro.experiments.table2_best_users import BestUsersResult, run_table2
+from repro.experiments.fig3_utility import UtilityComparisonResult, run_fig3
+from repro.experiments.table3_alarms import AlarmVolumeResult, run_table3
+from repro.experiments.fig4_attacker import AttackerResult, run_fig4
+from repro.experiments.fig5_storm import StormReplayResult, run_fig5
+from repro.experiments.runner import ExperimentSuiteResult, run_all_experiments
+from repro.experiments.report import render_series, render_table
+
+__all__ = [
+    "TailDiversityResult",
+    "run_fig1",
+    "FeatureScatterResult",
+    "run_fig2",
+    "BestUsersResult",
+    "run_table2",
+    "UtilityComparisonResult",
+    "run_fig3",
+    "AlarmVolumeResult",
+    "run_table3",
+    "AttackerResult",
+    "run_fig4",
+    "StormReplayResult",
+    "run_fig5",
+    "ExperimentSuiteResult",
+    "run_all_experiments",
+    "render_table",
+    "render_series",
+]

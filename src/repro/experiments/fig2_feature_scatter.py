@@ -1,0 +1,107 @@
+"""Figure 2: per-user fringe behaviour compared across two features.
+
+Each point is one user; the x-coordinate is the user's 99th percentile for one
+feature (TCP connections in the paper) and the y-coordinate the 99th
+percentile for another (UDP connections).  The paper reads off that users who
+are "heavy" in one feature are often "light" in the other, which is what makes
+role-specialised collaborative detection plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.experiments.report import render_table
+from repro.features.definitions import Feature
+from repro.utils.validation import require
+from repro.workload.enterprise import EnterprisePopulation
+
+
+@dataclass(frozen=True)
+class FeatureScatterResult:
+    """The Figure 2 scatter data plus correlation summaries."""
+
+    x_feature: Feature
+    y_feature: Feature
+    x_by_host: Mapping[int, float]
+    y_by_host: Mapping[int, float]
+
+    @property
+    def host_ids(self) -> Tuple[int, ...]:
+        """Hosts included in the scatter."""
+        return tuple(sorted(self.x_by_host))
+
+    def points(self) -> np.ndarray:
+        """``(n, 2)`` array of scatter points, ordered by host id."""
+        return np.array([[self.x_by_host[h], self.y_by_host[h]] for h in self.host_ids])
+
+    def pearson_correlation(self) -> float:
+        """Correlation of the two per-host tail values (on log scale)."""
+        points = self.points()
+        logs = np.log10(np.maximum(points, 1e-9))
+        if logs.shape[0] < 2:
+            return 0.0
+        return float(np.corrcoef(logs[:, 0], logs[:, 1])[0, 1])
+
+    def rank_overlap(self, top_count: int = 10) -> int:
+        """How many hosts appear in both features' top-``top_count`` heaviest lists."""
+        require(top_count >= 1, "top_count must be >= 1")
+        top_x = set(sorted(self.x_by_host, key=self.x_by_host.get, reverse=True)[:top_count])
+        top_y = set(sorted(self.y_by_host, key=self.y_by_host.get, reverse=True)[:top_count])
+        return len(top_x & top_y)
+
+    def specialists(self, factor: float = 4.0) -> Dict[str, List[int]]:
+        """Hosts that are heavy in one feature but light in the other.
+
+        A host is an "x specialist" when its x tail is at least ``factor``
+        times its population-rank-equivalent y tail (computed on normalised
+        ranks), i.e. the lower-right / upper-left corners of Figure 2.
+        """
+        require(factor > 1.0, "factor must exceed 1")
+        hosts = self.host_ids
+        x_rank = _normalised_ranks({h: self.x_by_host[h] for h in hosts})
+        y_rank = _normalised_ranks({h: self.y_by_host[h] for h in hosts})
+        x_specialists = [h for h in hosts if x_rank[h] > 0.8 and y_rank[h] < 0.3]
+        y_specialists = [h for h in hosts if y_rank[h] > 0.8 and x_rank[h] < 0.3]
+        return {"x_heavy_y_light": x_specialists, "y_heavy_x_light": y_specialists}
+
+    def render(self) -> str:
+        """Text summary of the Figure 2 scatter."""
+        specialists = self.specialists()
+        rows = [
+            ["hosts", len(self.host_ids)],
+            ["log-log correlation", self.pearson_correlation()],
+            ["top-10 overlap", self.rank_overlap(10)],
+            [f"{self.x_feature.value}-heavy / {self.y_feature.value}-light", len(specialists["x_heavy_y_light"])],
+            [f"{self.y_feature.value}-heavy / {self.x_feature.value}-light", len(specialists["y_heavy_x_light"])],
+        ]
+        return render_table(
+            ["quantity", "value"],
+            rows,
+            title=(
+                f"Figure 2 — per-user 99th percentile scatter: "
+                f"{self.x_feature.value} vs {self.y_feature.value}"
+            ),
+        )
+
+
+def _normalised_ranks(values: Mapping[int, float]) -> Dict[int, float]:
+    ordered = sorted(values, key=values.get)
+    n = max(len(ordered) - 1, 1)
+    return {host: index / n for index, host in enumerate(ordered)}
+
+
+def run_fig2(
+    population: EnterprisePopulation,
+    x_feature: Feature = Feature.TCP_CONNECTIONS,
+    y_feature: Feature = Feature.UDP_CONNECTIONS,
+) -> FeatureScatterResult:
+    """Compute the Figure 2 scatter on ``population``."""
+    x = population.per_host_percentiles(x_feature, 99)
+    y = population.per_host_percentiles(y_feature, 99)
+    return FeatureScatterResult(
+        x_feature=x_feature, y_feature=y_feature, x_by_host=x, y_by_host=y
+    )

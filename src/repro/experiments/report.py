@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are plots; the reproduction prints the underlying series
+and tables so the benchmark harness (and CI logs) can show the same rows the
+paper reports without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.utils.validation import require
+
+
+def _format_cell(value: object, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a simple aligned text table."""
+    require(len(headers) > 0, "table requires headers")
+    columns = len(headers)
+    for row in rows:
+        require(len(row) == columns, "every row must match the header width")
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index, value in enumerate(row):
+            text = f"{value:.4g}" if isinstance(value, float) else str(value)
+            widths[index] = max(widths[index], len(text))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_format_cell(value, width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render one or more y-series against a shared x-axis as a text table."""
+    require(len(x_values) > 0, "series requires x values")
+    for name, values in series.items():
+        require(len(values) == len(x_values), f"series {name!r} length must match x values")
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][index] for name in series]
+        for index, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)

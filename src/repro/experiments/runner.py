@@ -1,0 +1,66 @@
+"""Run every paper experiment end to end and collect the results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.fig1_tail_diversity import TailDiversityResult, run_fig1
+from repro.experiments.fig2_feature_scatter import FeatureScatterResult, run_fig2
+from repro.experiments.fig3_utility import UtilityComparisonResult, run_fig3
+from repro.experiments.fig4_attacker import AttackerResult, run_fig4
+from repro.experiments.fig5_storm import StormReplayResult, run_fig5
+from repro.experiments.table2_best_users import BestUsersResult, run_table2
+from repro.experiments.table3_alarms import AlarmVolumeResult, run_table3
+from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation, generate_enterprise
+
+
+@dataclass(frozen=True)
+class ExperimentSuiteResult:
+    """All paper-experiment results for one generated population."""
+
+    population: EnterprisePopulation
+    fig1: TailDiversityResult
+    fig2: FeatureScatterResult
+    table2: BestUsersResult
+    fig3: UtilityComparisonResult
+    table3: AlarmVolumeResult
+    fig4: AttackerResult
+    fig5: StormReplayResult
+
+    def render(self) -> str:
+        """Render every experiment's text report, separated by blank lines."""
+        sections = [
+            self.fig1.render(),
+            self.fig2.render(),
+            self.table2.render(),
+            self.fig3.render(),
+            self.table3.render(),
+            self.fig4.render(),
+            self.fig5.render(),
+        ]
+        return "\n\n".join(sections)
+
+
+def run_all_experiments(
+    population: Optional[EnterprisePopulation] = None,
+    config: Optional[EnterpriseConfig] = None,
+) -> ExperimentSuiteResult:
+    """Run the full experiment suite.
+
+    Pass an existing ``population`` to reuse generated traces, or a ``config``
+    to generate a new population (defaults to the paper-scale configuration —
+    350 hosts, five weeks — which takes a few minutes).
+    """
+    if population is None:
+        population = generate_enterprise(config)
+    return ExperimentSuiteResult(
+        population=population,
+        fig1=run_fig1(population),
+        fig2=run_fig2(population),
+        table2=run_table2(population),
+        fig3=run_fig3(population),
+        table3=run_table3(population),
+        fig4=run_fig4(population),
+        fig5=run_fig5(population),
+    )

@@ -1,0 +1,82 @@
+"""Table 2: the "best" (lowest-threshold) users per alarm type.
+
+Under the diversity policies, the ten users with the lowest thresholds for a
+feature are best placed to catch stealthy attacks on that feature.  The
+paper's Table 2 lists those identities for the number-of-UDP-connections and
+number-of-TCP-connections features under Full Diversity and Partial Diversity
+and observes very little overlap between the two features — evidence that
+different users can play different roles in collaborative detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.evaluation import training_distributions
+from repro.core.policies import ConfigurationPolicy, FullDiversityPolicy, PartialDiversityPolicy
+from repro.experiments.report import render_table
+from repro.features.definitions import Feature
+from repro.utils.validation import require
+from repro.workload.enterprise import EnterprisePopulation
+
+
+@dataclass(frozen=True)
+class BestUsersResult:
+    """Table 2: best-user lists per feature and policy."""
+
+    features: Tuple[Feature, ...]
+    policy_names: Tuple[str, ...]
+    best_users: Mapping[Tuple[str, Feature], Tuple[int, ...]]
+    top_count: int
+
+    def overlap_between_features(self, policy_name: str) -> int:
+        """Number of users common to both features' best lists for one policy."""
+        require(len(self.features) == 2, "overlap is defined for exactly two features")
+        first = set(self.best_users[(policy_name, self.features[0])])
+        second = set(self.best_users[(policy_name, self.features[1])])
+        return len(first & second)
+
+    def render(self) -> str:
+        """Text rendering of Table 2."""
+        rows: List[Sequence[object]] = []
+        for feature in self.features:
+            for policy_name in self.policy_names:
+                users = self.best_users[(policy_name, feature)]
+                rows.append([feature.value, policy_name, ", ".join(str(u) for u in users)])
+        for policy_name in self.policy_names:
+            if len(self.features) == 2:
+                rows.append(
+                    ["(overlap across features)", policy_name, self.overlap_between_features(policy_name)]
+                )
+        return render_table(
+            ["feature", "policy", f"best {self.top_count} users (lowest thresholds)"],
+            rows,
+            title="Table 2 — best users per alarm type",
+        )
+
+
+def run_table2(
+    population: EnterprisePopulation,
+    features: Sequence[Feature] = (Feature.UDP_CONNECTIONS, Feature.TCP_CONNECTIONS),
+    train_week: int = 0,
+    top_count: int = 10,
+    policies: Sequence[ConfigurationPolicy] = None,
+) -> BestUsersResult:
+    """Compute Table 2 on ``population``."""
+    require(len(features) >= 1, "at least one feature is required")
+    if policies is None:
+        policies = (FullDiversityPolicy(), PartialDiversityPolicy())
+    matrices = population.matrices()
+    best: Dict[Tuple[str, Feature], Tuple[int, ...]] = {}
+    for feature in features:
+        distributions = training_distributions(matrices, feature, train_week)
+        for policy in policies:
+            assignment = policy.compute_thresholds(distributions)
+            best[(policy.name, feature)] = assignment.lowest_threshold_hosts(top_count)
+    return BestUsersResult(
+        features=tuple(features),
+        policy_names=tuple(policy.name for policy in policies),
+        best_users=best,
+        top_count=top_count,
+    )

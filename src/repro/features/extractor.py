@@ -1,0 +1,112 @@
+"""Connection records -> binned feature time series.
+
+This is the Bro-replacement step of the pipeline: given the connection records
+assembled from a host's packet trace, produce the per-bin counts of every
+feature in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.features.definitions import FEATURES, Feature, FeatureDefinition, PAPER_FEATURES
+from repro.features.timeseries import FeatureMatrix, TimeSeries
+from repro.traces.flow import ConnectionRecord
+from repro.utils.timeutils import BinSpec, MINUTE
+from repro.utils.validation import require
+
+
+class FeatureExtractor:
+    """Extract the paper's feature time series from connection records.
+
+    Parameters
+    ----------
+    bin_spec:
+        The binning to use; the paper reports 5-minute and 15-minute bins
+        (15 minutes is the default here, matching the presented results).
+    features:
+        Which features to extract (defaults to all six from Table 1).
+    duration:
+        Total trace duration in seconds.  Bins past the last connection but
+        within the duration are filled with zero counts, which matters for
+        percentile computation on mostly-idle hosts.
+    """
+
+    def __init__(
+        self,
+        bin_spec: Optional[BinSpec] = None,
+        features: Sequence[Feature] = PAPER_FEATURES,
+        duration: Optional[float] = None,
+    ) -> None:
+        require(len(features) > 0, "at least one feature is required")
+        self._bin_spec = bin_spec if bin_spec is not None else BinSpec(width=15 * MINUTE)
+        self._features = tuple(features)
+        self._duration = duration
+
+    @property
+    def bin_spec(self) -> BinSpec:
+        """The binning specification used for extraction."""
+        return self._bin_spec
+
+    @property
+    def features(self) -> Sequence[Feature]:
+        """Features being extracted."""
+        return self._features
+
+    def extract(self, host_id: int, connections: Iterable[ConnectionRecord]) -> FeatureMatrix:
+        """Extract all configured features for one host."""
+        records = list(connections)
+        num_bins = self._num_bins(records)
+        counts: Dict[Feature, np.ndarray] = {
+            feature: np.zeros(num_bins) for feature in self._features
+        }
+        distinct_sets: Dict[Feature, List[Set[int]]] = {
+            feature: [set() for _ in range(num_bins)]
+            for feature in self._features
+            if FEATURES[feature].distinct_destinations
+        }
+
+        for record in records:
+            bin_index = self._bin_spec.index_of(record.start_time)
+            if bin_index < 0 or bin_index >= num_bins:
+                continue
+            for feature in self._features:
+                definition = FEATURES[feature]
+                if not definition.predicate(record):
+                    continue
+                if definition.distinct_destinations:
+                    distinct_sets[feature][bin_index].add(record.dst_ip)
+                else:
+                    counts[feature][bin_index] += definition.count_value(record)
+
+        for feature, per_bin_sets in distinct_sets.items():
+            counts[feature] = np.array([len(s) for s in per_bin_sets], dtype=float)
+
+        series = {
+            feature: TimeSeries(counts[feature], self._bin_spec) for feature in self._features
+        }
+        return FeatureMatrix(host_id=host_id, series=series)
+
+    def _num_bins(self, records: Sequence[ConnectionRecord]) -> int:
+        if self._duration is not None:
+            return max(self._bin_spec.count_until(self._duration), 1)
+        if not records:
+            return 1
+        last = max(record.start_time for record in records)
+        return self._bin_spec.index_of(last) + 1
+
+
+def extract_feature_matrix(
+    host_id: int,
+    connections: Iterable[ConnectionRecord],
+    bin_width: float = 15 * MINUTE,
+    duration: Optional[float] = None,
+    features: Sequence[Feature] = PAPER_FEATURES,
+) -> FeatureMatrix:
+    """One-shot helper wrapping :class:`FeatureExtractor`."""
+    extractor = FeatureExtractor(
+        bin_spec=BinSpec(width=bin_width), features=features, duration=duration
+    )
+    return extractor.extract(host_id, connections)

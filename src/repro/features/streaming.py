@@ -1,0 +1,122 @@
+"""Streaming (online) feature counting for a live HIDS agent.
+
+A deployed behavioural HIDS does not batch a whole week of packets; it counts
+features in the current window and compares the count against its threshold
+when the window closes.  :class:`StreamingFeatureCounter` provides that
+incremental path and is used by :class:`repro.core.hids.HIDSAgent` in
+streaming mode; its results are checked against the batch extractor in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.features.definitions import FEATURES, Feature, PAPER_FEATURES
+from repro.traces.flow import ConnectionRecord
+from repro.utils.timeutils import BinSpec, MINUTE
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class WindowCounts:
+    """Feature counts for one closed window."""
+
+    window_index: int
+    start_time: float
+    end_time: float
+    counts: Dict[Feature, float]
+
+    def count(self, feature: Feature) -> float:
+        """Count for ``feature`` (0.0 when the feature was not tracked)."""
+        return self.counts.get(feature, 0.0)
+
+
+class StreamingFeatureCounter:
+    """Incrementally count features window-by-window.
+
+    Connection records must be fed in non-decreasing start-time order.  When a
+    record belonging to a later window arrives, all intermediate windows are
+    closed (emitting zero-count windows for idle periods) and returned.
+    """
+
+    def __init__(
+        self,
+        bin_spec: Optional[BinSpec] = None,
+        features: Sequence[Feature] = PAPER_FEATURES,
+    ) -> None:
+        require(len(features) > 0, "at least one feature is required")
+        self._bin_spec = bin_spec if bin_spec is not None else BinSpec(width=15 * MINUTE)
+        self._features = tuple(features)
+        self._current_window: Optional[int] = None
+        self._counts: Dict[Feature, float] = {feature: 0.0 for feature in self._features}
+        self._distinct: Dict[Feature, Set[int]] = {
+            feature: set() for feature in self._features if FEATURES[feature].distinct_destinations
+        }
+        self._last_time: Optional[float] = None
+
+    @property
+    def bin_spec(self) -> BinSpec:
+        """The binning specification."""
+        return self._bin_spec
+
+    @property
+    def current_window(self) -> Optional[int]:
+        """Index of the window currently being accumulated (None before first record)."""
+        return self._current_window
+
+    def _reset_counts(self) -> None:
+        self._counts = {feature: 0.0 for feature in self._features}
+        for feature in self._distinct:
+            self._distinct[feature] = set()
+
+    def _close_window(self, window_index: int) -> WindowCounts:
+        counts = dict(self._counts)
+        for feature, destinations in self._distinct.items():
+            counts[feature] = float(len(destinations))
+        start, end = self._bin_spec.span(window_index)
+        self._reset_counts()
+        return WindowCounts(window_index=window_index, start_time=start, end_time=end, counts=counts)
+
+    def feed(self, record: ConnectionRecord) -> List[WindowCounts]:
+        """Feed one record; returns any windows that closed as a result."""
+        if self._last_time is not None:
+            require(
+                record.start_time >= self._last_time - 1e-9,
+                "records must be fed in non-decreasing start-time order",
+            )
+        self._last_time = record.start_time
+
+        window_index = self._bin_spec.index_of(record.start_time)
+        closed: List[WindowCounts] = []
+        if self._current_window is None:
+            self._current_window = window_index
+        while window_index > self._current_window:
+            closed.append(self._close_window(self._current_window))
+            self._current_window += 1
+
+        for feature in self._features:
+            definition = FEATURES[feature]
+            if not definition.predicate(record):
+                continue
+            if definition.distinct_destinations:
+                self._distinct[feature].add(record.dst_ip)
+            else:
+                self._counts[feature] += definition.count_value(record)
+        return closed
+
+    def feed_many(self, records: Sequence[ConnectionRecord]) -> List[WindowCounts]:
+        """Feed many records; returns every window closed along the way."""
+        closed: List[WindowCounts] = []
+        for record in records:
+            closed.extend(self.feed(record))
+        return closed
+
+    def flush(self) -> List[WindowCounts]:
+        """Close the window currently being accumulated (end of stream)."""
+        if self._current_window is None:
+            return []
+        window = self._close_window(self._current_window)
+        self._current_window = None
+        self._last_time = None
+        return [window]

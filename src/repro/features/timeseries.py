@@ -1,0 +1,227 @@
+"""Binned time-series containers.
+
+:class:`TimeSeries` holds one feature's per-bin counts for one host;
+:class:`FeatureMatrix` holds all six features for one host over the same bin
+grid.  Both support slicing by week (the paper's train-one-week /
+test-the-next protocol), rebinning to coarser windows and conversion to
+empirical distributions for threshold computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.features.definitions import Feature
+from repro.stats.empirical import EmpiricalDistribution
+from repro.utils.timeutils import BinSpec, WEEK
+from repro.utils.validation import require, require_positive
+
+
+class TimeSeries:
+    """A fixed-width binned count series for one feature on one host."""
+
+    def __init__(self, values: Sequence[float], bin_spec: BinSpec) -> None:
+        self._values = np.asarray(values, dtype=float)
+        require(self._values.ndim == 1, "values must be one-dimensional")
+        require(np.all(self._values >= 0), "bin counts must be non-negative")
+        self._bin_spec = bin_spec
+
+    # ----------------------------------------------------------------- basic
+    @property
+    def values(self) -> np.ndarray:
+        """The per-bin counts (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def bin_spec(self) -> BinSpec:
+        """The binning specification."""
+        return self._bin_spec
+
+    @property
+    def bin_width(self) -> float:
+        """Bin width in seconds."""
+        return self._bin_spec.width
+
+    @property
+    def num_bins(self) -> int:
+        """Number of bins in the series."""
+        return int(self._values.size)
+
+    @property
+    def duration(self) -> float:
+        """Total time covered by the series in seconds."""
+        return self.num_bins * self.bin_width
+
+    def __len__(self) -> int:
+        return self.num_bins
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values.tolist())
+
+    def __getitem__(self, index):
+        result = self._values[index]
+        if isinstance(index, slice):
+            return TimeSeries(result, self._bin_spec)
+        return float(result)
+
+    # ------------------------------------------------------------ operations
+    def slice_time(self, start: float, end: float) -> "TimeSeries":
+        """Return the sub-series covering [start, end) in trace time."""
+        require(end >= start, "end must be >= start")
+        first = max(self._bin_spec.index_of(start), 0)
+        last = min(self._bin_spec.index_of(end - 1e-9) + 1, self.num_bins)
+        return TimeSeries(self._values[first:last], self._bin_spec)
+
+    def week(self, index: int) -> "TimeSeries":
+        """Return the series for week ``index`` (0-based)."""
+        require(index >= 0, "week index must be non-negative")
+        return self.slice_time(index * WEEK, (index + 1) * WEEK)
+
+    def num_weeks(self) -> int:
+        """Number of whole weeks covered by the series."""
+        return int(self.duration // WEEK)
+
+    def rebin(self, factor: int) -> "TimeSeries":
+        """Aggregate ``factor`` adjacent bins into one (e.g. 5-min -> 15-min)."""
+        require(factor >= 1, "factor must be >= 1")
+        if factor == 1:
+            return TimeSeries(self._values.copy(), self._bin_spec)
+        usable = (self.num_bins // factor) * factor
+        reshaped = self._values[:usable].reshape(-1, factor)
+        aggregated = reshaped.sum(axis=1)
+        return TimeSeries(aggregated, BinSpec(width=self.bin_width * factor, origin=self._bin_spec.origin))
+
+    def add(self, other: "TimeSeries") -> "TimeSeries":
+        """Element-wise sum with another series on the same bin grid.
+
+        Series of different lengths are summed over the overlapping prefix and
+        the longer tail is preserved — this is how attack traffic is overlaid
+        on benign traffic (the paper's additive attack model).
+        """
+        require(abs(self.bin_width - other.bin_width) < 1e-9, "bin widths must match to add series")
+        length = max(self.num_bins, other.num_bins)
+        combined = np.zeros(length)
+        combined[: self.num_bins] += self._values
+        combined[: other.num_bins] += other._values
+        return TimeSeries(combined, self._bin_spec)
+
+    def add_constant(self, amount: float) -> "TimeSeries":
+        """Add a constant amount to every bin (constant-rate attack injection)."""
+        require(amount >= 0, "amount must be non-negative")
+        return TimeSeries(self._values + amount, self._bin_spec)
+
+    # --------------------------------------------------------------- queries
+    def distribution(self) -> EmpiricalDistribution:
+        """The empirical distribution of per-bin counts."""
+        return EmpiricalDistribution(self._values)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of per-bin counts."""
+        return self.distribution().percentile(q)
+
+    def exceedance_count(self, threshold: float) -> int:
+        """Number of bins whose count strictly exceeds ``threshold``."""
+        return int(np.count_nonzero(self._values > threshold))
+
+    def exceedance_rate(self, threshold: float) -> float:
+        """Fraction of bins whose count strictly exceeds ``threshold``."""
+        require(self.num_bins > 0, "exceedance_rate requires a non-empty series")
+        return self.exceedance_count(threshold) / self.num_bins
+
+    def total(self) -> float:
+        """Sum over all bins."""
+        return float(np.sum(self._values))
+
+    def max(self) -> float:
+        """Largest bin count."""
+        require(self.num_bins > 0, "max requires a non-empty series")
+        return float(np.max(self._values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"TimeSeries(bins={self.num_bins}, width={self.bin_width:.0f}s)"
+
+
+class FeatureMatrix:
+    """All monitored features for one host, on a common bin grid."""
+
+    def __init__(self, host_id: int, series: Mapping[Feature, TimeSeries]) -> None:
+        require(len(series) > 0, "FeatureMatrix requires at least one feature series")
+        widths = {ts.bin_width for ts in series.values()}
+        require(len(widths) == 1, "all feature series must share the same bin width")
+        lengths = {ts.num_bins for ts in series.values()}
+        require(len(lengths) == 1, "all feature series must share the same length")
+        self._host_id = int(host_id)
+        self._series: Dict[Feature, TimeSeries] = dict(series)
+
+    @property
+    def host_id(self) -> int:
+        """Identifier of the host this matrix belongs to."""
+        return self._host_id
+
+    @property
+    def features(self) -> Tuple[Feature, ...]:
+        """The features present, in insertion order."""
+        return tuple(self._series.keys())
+
+    @property
+    def num_bins(self) -> int:
+        """Number of bins in every series."""
+        return next(iter(self._series.values())).num_bins
+
+    @property
+    def bin_width(self) -> float:
+        """Bin width in seconds."""
+        return next(iter(self._series.values())).bin_width
+
+    def __contains__(self, feature: Feature) -> bool:
+        return feature in self._series
+
+    def series(self, feature: Feature) -> TimeSeries:
+        """Return the series for ``feature`` (raises ``KeyError`` if absent)."""
+        return self._series[feature]
+
+    def __getitem__(self, feature: Feature) -> TimeSeries:
+        return self.series(feature)
+
+    def items(self) -> Iterable[Tuple[Feature, TimeSeries]]:
+        """Iterate over (feature, series) pairs."""
+        return self._series.items()
+
+    def week(self, index: int) -> "FeatureMatrix":
+        """Slice every feature series to week ``index``."""
+        return FeatureMatrix(self._host_id, {f: ts.week(index) for f, ts in self._series.items()})
+
+    def slice_time(self, start: float, end: float) -> "FeatureMatrix":
+        """Slice every feature series to [start, end)."""
+        return FeatureMatrix(
+            self._host_id, {f: ts.slice_time(start, end) for f, ts in self._series.items()}
+        )
+
+    def rebin(self, factor: int) -> "FeatureMatrix":
+        """Rebin every feature series by ``factor``."""
+        return FeatureMatrix(self._host_id, {f: ts.rebin(factor) for f, ts in self._series.items()})
+
+    def with_series(self, feature: Feature, series: TimeSeries) -> "FeatureMatrix":
+        """Return a copy with ``feature``'s series replaced."""
+        updated = dict(self._series)
+        updated[feature] = series
+        return FeatureMatrix(self._host_id, updated)
+
+    def distributions(self) -> Dict[Feature, EmpiricalDistribution]:
+        """Empirical distribution of every feature."""
+        return {feature: ts.distribution() for feature, ts in self._series.items()}
+
+    def num_weeks(self) -> int:
+        """Number of whole weeks covered."""
+        return next(iter(self._series.values())).num_weeks()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"FeatureMatrix(host={self._host_id}, features={len(self._series)}, "
+            f"bins={self.num_bins})"
+        )

@@ -1,0 +1,199 @@
+"""Empirical distributions.
+
+The paper's percentile-based threshold heuristic works directly on the
+empirical distribution of per-bin feature counts observed on a host (or a
+group of hosts).  :class:`EmpiricalDistribution` is the central object: it
+stores the samples, exposes percentiles, the ECDF, exceedance probabilities
+(used for false-positive/false-negative computations) and supports pooling
+distributions across hosts (used by the homogeneous and partial-diversity
+policies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, require, require_probability
+
+
+def ecdf(samples: Sequence[float], value: float) -> float:
+    """Return the empirical CDF ``P(X <= value)`` of ``samples`` at ``value``."""
+    data = np.asarray(samples, dtype=float)
+    require(data.size > 0, "ecdf requires at least one sample")
+    return float(np.count_nonzero(data <= value)) / data.size
+
+
+def percentile_of_score(samples: Sequence[float], score: float) -> float:
+    """Return the percentile rank (0-100) of ``score`` within ``samples``."""
+    return 100.0 * ecdf(samples, score)
+
+
+class EmpiricalDistribution:
+    """An empirical distribution built from observed samples.
+
+    Parameters
+    ----------
+    samples:
+        Observed values (per-bin feature counts).  May be empty only if
+        ``allow_empty`` is true, in which case every query raises until
+        samples are added.
+    """
+
+    def __init__(self, samples: Optional[Iterable[float]] = None, allow_empty: bool = True) -> None:
+        values = np.asarray(list(samples) if samples is not None else [], dtype=float)
+        if not allow_empty and values.size == 0:
+            raise ValidationError("EmpiricalDistribution requires at least one sample")
+        if values.size and not np.all(np.isfinite(values)):
+            raise ValidationError("samples must be finite")
+        self._sorted = np.sort(values)
+
+    # ------------------------------------------------------------------ basic
+    def __len__(self) -> int:
+        return int(self._sorted.size)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the distribution contains no samples."""
+        return self._sorted.size == 0
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The sorted samples (read-only view)."""
+        view = self._sorted.view()
+        view.flags.writeable = False
+        return view
+
+    def _require_samples(self) -> None:
+        if self.is_empty:
+            raise ValidationError("operation requires a non-empty distribution")
+
+    # ----------------------------------------------------------------- update
+    def add(self, values: Iterable[float]) -> "EmpiricalDistribution":
+        """Return a new distribution with ``values`` merged in."""
+        new_values = np.asarray(list(values), dtype=float)
+        if new_values.size and not np.all(np.isfinite(new_values)):
+            raise ValidationError("samples must be finite")
+        merged = np.concatenate([self._sorted, new_values])
+        return EmpiricalDistribution(merged)
+
+    @classmethod
+    def pooled(cls, distributions: Sequence["EmpiricalDistribution"]) -> "EmpiricalDistribution":
+        """Pool several distributions into a single global one.
+
+        This is how the homogeneous (monoculture) policy builds its global
+        distribution at the central console: all per-host samples are
+        collapsed together before percentiles are extracted.
+        """
+        require(len(distributions) > 0, "pooled requires at least one distribution")
+        arrays: List[np.ndarray] = [dist._sorted for dist in distributions]
+        return cls(np.concatenate(arrays) if arrays else [])
+
+    # ---------------------------------------------------------------- queries
+    def min(self) -> float:
+        """Smallest observed sample."""
+        self._require_samples()
+        return float(self._sorted[0])
+
+    def max(self) -> float:
+        """Largest observed sample."""
+        self._require_samples()
+        return float(self._sorted[-1])
+
+    def mean(self) -> float:
+        """Sample mean."""
+        self._require_samples()
+        return float(np.mean(self._sorted))
+
+    def std(self) -> float:
+        """Sample standard deviation (population convention, ddof=0)."""
+        self._require_samples()
+        return float(np.std(self._sorted))
+
+    def percentile(self, q: float) -> float:
+        """Return the ``q``-th percentile (``q`` in [0, 100])."""
+        require(0.0 <= q <= 100.0, "percentile q must be in [0, 100]")
+        self._require_samples()
+        return float(np.percentile(self._sorted, q))
+
+    def quantile(self, p: float) -> float:
+        """Return the ``p``-quantile (``p`` in [0, 1])."""
+        require_probability(p, "p")
+        return self.percentile(100.0 * p)
+
+    def cdf(self, value: float) -> float:
+        """Return ``P(X <= value)``."""
+        self._require_samples()
+        return float(np.searchsorted(self._sorted, value, side="right")) / self._sorted.size
+
+    def exceedance(self, value: float) -> float:
+        """Return ``P(X > value)`` — the false-positive rate at threshold ``value``."""
+        return 1.0 - self.cdf(value)
+
+    def survival_at_or_above(self, value: float) -> float:
+        """Return ``P(X >= value)``."""
+        self._require_samples()
+        return 1.0 - float(np.searchsorted(self._sorted, value, side="left")) / self._sorted.size
+
+    def rank(self, value: float) -> float:
+        """Return the percentile rank of ``value`` (0-100)."""
+        return 100.0 * self.cdf(value)
+
+    def shifted_exceedance(self, threshold: float, shift: float) -> float:
+        """Return ``P(X + shift > threshold)``.
+
+        Used to compute detection probabilities when an attacker adds
+        ``shift`` units of traffic on top of the benign feature value.
+        """
+        return self.exceedance(threshold - shift)
+
+    def headroom(self, threshold: float, quantile: float = 0.5) -> float:
+        """Return ``threshold - quantile(X)``: the attacker's hidden-traffic room.
+
+        The paper's Figure 4(b) measures the "room" ``T - g`` an attacker can
+        exploit; by default this uses the median of the benign distribution as
+        the reference point for ``g``.
+        """
+        require_probability(quantile, "quantile")
+        self._require_samples()
+        return threshold - self.quantile(quantile)
+
+    def largest_hidden_shift(self, threshold: float, evasion_probability: float) -> float:
+        """Largest additive shift ``b`` with ``P(X + b < threshold) >= evasion_probability``.
+
+        This implements the resourceful (mimicry) attacker from the paper: the
+        attacker knows the benign distribution and chooses the largest
+        injection that still evades detection with the requested probability.
+        Returns 0.0 if even ``b = 0`` cannot achieve the target (i.e. the
+        benign traffic alone exceeds the threshold too often).
+        """
+        require_probability(evasion_probability, "evasion_probability")
+        self._require_samples()
+        # P(X + b < T) >= p  <=>  b <= T - quantile_p(X) (strictly, using the
+        # p-quantile of X). Use the empirical p-quantile.
+        room = threshold - self.quantile(evasion_probability)
+        return max(0.0, float(room))
+
+    def summary(self) -> dict:
+        """Return a dict of headline statistics for reporting."""
+        self._require_samples()
+        return {
+            "count": len(self),
+            "min": self.min(),
+            "mean": self.mean(),
+            "std": self.std(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+            "max": self.max(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if self.is_empty:
+            return "EmpiricalDistribution(empty)"
+        return (
+            f"EmpiricalDistribution(n={len(self)}, "
+            f"median={self.percentile(50):.3g}, p99={self.percentile(99):.3g})"
+        )

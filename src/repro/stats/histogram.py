@@ -1,0 +1,218 @@
+"""Histograms for per-host feature distributions.
+
+The resourceful attacker in the paper "computes histograms of the user's
+behaviour"; the central console in the homogeneous policy pools per-host
+distributions shipped up by the agents.  These histogram classes are the
+compact on-the-wire representation used for both purposes: fixed-width bins
+for bounded features and log-spaced bins for heavy-tailed connection counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive, require_probability
+
+
+class Histogram:
+    """Fixed-width histogram with overflow handling.
+
+    Parameters
+    ----------
+    bin_width:
+        Width of each bin.
+    num_bins:
+        Number of regular bins; values at or beyond ``bin_width * num_bins``
+        are accumulated in an overflow bucket whose representative value is
+        the maximum observed value.
+    """
+
+    def __init__(self, bin_width: float, num_bins: int) -> None:
+        require_positive(bin_width, "bin_width")
+        require(num_bins >= 1, "num_bins must be >= 1")
+        self._bin_width = float(bin_width)
+        self._num_bins = int(num_bins)
+        self._counts = np.zeros(num_bins, dtype=np.int64)
+        self._overflow = 0
+        self._overflow_max = 0.0
+        self._total = 0
+
+    @property
+    def bin_width(self) -> float:
+        """Width of each regular bin."""
+        return self._bin_width
+
+    @property
+    def num_bins(self) -> int:
+        """Number of regular bins (excluding overflow)."""
+        return self._num_bins
+
+    @property
+    def total(self) -> int:
+        """Total number of observations recorded."""
+        return self._total
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-bin counts (copy)."""
+        return self._counts.copy()
+
+    @property
+    def overflow(self) -> int:
+        """Number of observations beyond the last regular bin."""
+        return self._overflow
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        require(value >= 0, "histogram values must be non-negative")
+        index = int(value // self._bin_width)
+        if index >= self._num_bins:
+            self._overflow += 1
+            self._overflow_max = max(self._overflow_max, value)
+        else:
+            self._counts[index] += 1
+        self._total += 1
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Record many observations."""
+        for value in values:
+            self.add(value)
+
+    def bin_edges(self) -> np.ndarray:
+        """Return the regular bin edges (length ``num_bins + 1``)."""
+        return np.arange(self._num_bins + 1) * self._bin_width
+
+    def quantile(self, p: float) -> float:
+        """Approximate ``p``-quantile using bin midpoints."""
+        require_probability(p, "p")
+        require(self._total > 0, "quantile requires at least one observation")
+        target = p * self._total
+        cumulative = 0
+        for index in range(self._num_bins):
+            cumulative += int(self._counts[index])
+            if cumulative >= target:
+                return (index + 0.5) * self._bin_width
+        return self._overflow_max if self._overflow else self._num_bins * self._bin_width
+
+    def exceedance(self, value: float) -> float:
+        """Approximate ``P(X > value)`` using whole-bin resolution."""
+        require(self._total > 0, "exceedance requires at least one observation")
+        index = int(value // self._bin_width)
+        if index >= self._num_bins:
+            above = self._overflow if value < self._overflow_max else 0
+            return above / self._total
+        above = int(np.sum(self._counts[index + 1:])) + self._overflow
+        return above / self._total
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Merge with a histogram of identical geometry, returning a new one."""
+        require(
+            abs(self._bin_width - other._bin_width) < 1e-12 and self._num_bins == other._num_bins,
+            "histograms must share geometry to merge",
+        )
+        merged = Histogram(self._bin_width, self._num_bins)
+        merged._counts = self._counts + other._counts
+        merged._overflow = self._overflow + other._overflow
+        merged._overflow_max = max(self._overflow_max, other._overflow_max)
+        merged._total = self._total + other._total
+        return merged
+
+
+class LogHistogram:
+    """Log-spaced histogram suited to heavy-tailed connection counts.
+
+    Bin ``k`` covers values in ``[base**k, base**(k+1))``; values below 1 fall
+    in a dedicated zero/sub-one bucket.
+    """
+
+    def __init__(self, base: float = 2.0, max_exponent: int = 40) -> None:
+        require(base > 1.0, "base must be > 1")
+        require(max_exponent >= 1, "max_exponent must be >= 1")
+        self._base = float(base)
+        self._max_exponent = int(max_exponent)
+        self._counts = np.zeros(max_exponent + 1, dtype=np.int64)  # +1 for sub-one bucket
+        self._total = 0
+        self._max_value = 0.0
+
+    @property
+    def base(self) -> float:
+        """Logarithm base for bin spacing."""
+        return self._base
+
+    @property
+    def total(self) -> int:
+        """Total number of observations."""
+        return self._total
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-bucket counts, index 0 is the sub-one bucket (copy)."""
+        return self._counts.copy()
+
+    def _bucket(self, value: float) -> int:
+        if value < 1.0:
+            return 0
+        exponent = int(np.floor(np.log(value) / np.log(self._base)))
+        return min(exponent + 1, self._max_exponent)
+
+    def add(self, value: float) -> None:
+        """Record one non-negative observation."""
+        value = float(value)
+        require(value >= 0, "log histogram values must be non-negative")
+        self._counts[self._bucket(value)] += 1
+        self._total += 1
+        self._max_value = max(self._max_value, value)
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Record many observations."""
+        for value in values:
+            self.add(value)
+
+    def bucket_ranges(self) -> List[Tuple[float, float]]:
+        """Return the ``(low, high)`` value range of every bucket."""
+        ranges: List[Tuple[float, float]] = [(0.0, 1.0)]
+        for exponent in range(self._max_exponent):
+            ranges.append((self._base ** exponent, self._base ** (exponent + 1)))
+        return ranges
+
+    def quantile(self, p: float) -> float:
+        """Approximate ``p``-quantile using the geometric midpoint of buckets."""
+        require_probability(p, "p")
+        require(self._total > 0, "quantile requires at least one observation")
+        target = p * self._total
+        cumulative = 0
+        ranges = self.bucket_ranges()
+        for index, count in enumerate(self._counts):
+            cumulative += int(count)
+            if cumulative >= target:
+                low, high = ranges[index]
+                if index == 0:
+                    return 0.5
+                return float(np.sqrt(low * min(high, max(self._max_value, low))))
+        return self._max_value
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Merge with a log histogram of identical geometry, returning a new one."""
+        require(
+            abs(self._base - other._base) < 1e-12 and self._max_exponent == other._max_exponent,
+            "log histograms must share geometry to merge",
+        )
+        merged = LogHistogram(self._base, self._max_exponent)
+        merged._counts = self._counts + other._counts
+        merged._total = self._total + other._total
+        merged._max_value = max(self._max_value, other._max_value)
+        return merged
+
+
+def histogram_from_samples(samples: Sequence[float], num_bins: int = 64) -> Histogram:
+    """Build a fixed-width histogram sized to cover ``samples``."""
+    data = np.asarray(samples, dtype=float)
+    require(data.size > 0, "histogram_from_samples requires samples")
+    top = float(np.max(data))
+    width = max(top / num_bins, 1e-9)
+    histogram = Histogram(bin_width=width, num_bins=num_bins + 1)
+    histogram.add_many(data.tolist())
+    return histogram

@@ -1,0 +1,213 @@
+"""Streaming quantile estimators.
+
+A production behavioral HIDS cannot keep every observed bin count in memory on
+the end host, so the library provides two classic streaming estimators that a
+host agent can use to track its own tail percentiles online:
+
+* :class:`P2QuantileEstimator` — the Jain & Chlamtac P² algorithm, constant
+  memory, one quantile per instance.
+* :class:`GreenwaldKhannaSketch` — an epsilon-approximate rank sketch
+  supporting arbitrary quantile queries.
+
+Both are validated against :class:`repro.stats.empirical.EmpiricalDistribution`
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.validation import require, require_probability
+
+
+class StreamingQuantile:
+    """Interface for streaming quantile estimators."""
+
+    def update(self, value: float) -> None:
+        """Feed one observation."""
+        raise NotImplementedError
+
+    def query(self, p: float) -> float:
+        """Return an estimate of the ``p``-quantile (``p`` in [0, 1])."""
+        raise NotImplementedError
+
+    @property
+    def count(self) -> int:
+        """Number of observations seen so far."""
+        raise NotImplementedError
+
+
+class P2QuantileEstimator(StreamingQuantile):
+    """Jain & Chlamtac's P² algorithm for a single target quantile.
+
+    Tracks five markers whose heights approximate the min, the target quantile
+    and intermediate quantiles.  Memory is O(1) regardless of stream length.
+    """
+
+    def __init__(self, p: float) -> None:
+        require_probability(p, "p")
+        require(0.0 < p < 1.0, "p must be strictly between 0 and 1")
+        self._p = p
+        self._initial: List[float] = []
+        self._heights = np.zeros(5)
+        self._positions = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        self._desired = np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0])
+        self._increments = np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0])
+        self._count = 0
+
+    @property
+    def p(self) -> float:
+        """The target quantile."""
+        return self._p
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        if self._count <= 5:
+            self._initial.append(value)
+            if self._count == 5:
+                self._heights = np.sort(np.array(self._initial))
+            return
+
+        heights = self._heights
+        # Locate the cell containing the new observation and clamp extremes.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = int(np.searchsorted(heights, value, side="right")) - 1
+            cell = min(max(cell, 0), 3)
+
+        self._positions[cell + 1:] += 1.0
+        self._desired += self._increments
+
+        # Adjust the three middle markers using parabolic (or linear) steps.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - self._positions[i]
+            right_gap = self._positions[i + 1] - self._positions[i]
+            left_gap = self._positions[i - 1] - self._positions[i]
+            if (delta >= 1.0 and right_gap > 1.0) or (delta <= -1.0 and left_gap < -1.0):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        positions = self._positions
+        heights = self._heights
+        numerator_left = (positions[i] - positions[i - 1] + step) * (
+            heights[i + 1] - heights[i]
+        ) / (positions[i + 1] - positions[i])
+        numerator_right = (positions[i + 1] - positions[i] - step) * (
+            heights[i] - heights[i - 1]
+        ) / (positions[i] - positions[i - 1])
+        return heights[i] + step / (positions[i + 1] - positions[i - 1]) * (
+            numerator_left + numerator_right
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        j = i + int(step)
+        return self._heights[i] + step * (self._heights[j] - self._heights[i]) / (
+            self._positions[j] - self._positions[i]
+        )
+
+    def query(self, p: Optional[float] = None) -> float:
+        """Return the estimate of the configured quantile.
+
+        ``p`` is accepted for interface compatibility but must equal the
+        configured quantile when provided.
+        """
+        if p is not None:
+            require(abs(p - self._p) < 1e-12, "P2QuantileEstimator tracks a single quantile")
+        require(self._count > 0, "no observations seen yet")
+        if self._count < 5:
+            return float(np.percentile(np.array(self._initial), 100.0 * self._p))
+        return float(self._heights[2])
+
+
+class GreenwaldKhannaSketch(StreamingQuantile):
+    """Greenwald-Khanna epsilon-approximate quantile sketch.
+
+    Supports querying arbitrary quantiles with rank error at most
+    ``epsilon * n``.  The implementation favours clarity over raw speed; it is
+    more than fast enough for per-host feature streams (thousands of bins).
+    """
+
+    def __init__(self, epsilon: float = 0.005) -> None:
+        require(0.0 < epsilon < 0.5, "epsilon must be in (0, 0.5)")
+        self._epsilon = epsilon
+        # Each tuple is (value, g, delta).
+        self._tuples: List[List[float]] = []
+        self._count = 0
+
+    @property
+    def epsilon(self) -> float:
+        """The configured rank-error bound."""
+        return self._epsilon
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if not self._tuples or value < self._tuples[0][0]:
+            self._tuples.insert(0, [value, 1.0, 0.0])
+        elif value >= self._tuples[-1][0]:
+            self._tuples.append([value, 1.0, 0.0])
+        else:
+            index = self._find_insert_index(value)
+            delta = self._tuples[index][1] + self._tuples[index][2] - 1.0
+            self._tuples.insert(index, [value, 1.0, max(delta, 0.0)])
+        self._count += 1
+        if self._count % int(1.0 / (2.0 * self._epsilon)) == 0:
+            self._compress()
+
+    def _find_insert_index(self, value: float) -> int:
+        low, high = 0, len(self._tuples)
+        while low < high:
+            mid = (low + high) // 2
+            if self._tuples[mid][0] <= value:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def _compress(self) -> None:
+        if len(self._tuples) < 3:
+            return
+        threshold = 2.0 * self._epsilon * self._count
+        merged: List[List[float]] = [self._tuples[0]]
+        for current in self._tuples[1:-1]:
+            last = merged[-1]
+            if last is not self._tuples[0] and last[1] + current[1] + current[2] <= threshold:
+                current[1] += last[1]
+                merged[-1] = current
+            else:
+                merged.append(current)
+        merged.append(self._tuples[-1])
+        self._tuples = merged
+
+    def query(self, p: float) -> float:
+        require_probability(p, "p")
+        require(self._count > 0, "no observations seen yet")
+        target_rank = p * self._count
+        allowed = self._epsilon * self._count
+        cumulative = 0.0
+        for value, g, delta in self._tuples:
+            cumulative += g
+            if cumulative + delta >= target_rank - allowed and cumulative >= target_rank - allowed:
+                return float(value)
+        return float(self._tuples[-1][0])

@@ -1,0 +1,220 @@
+"""Heavy-tailed and discrete samplers used by the workload generator.
+
+The enterprise population in the paper shows per-host feature tails spanning
+3-4 orders of magnitude.  To reproduce that spread, per-host per-bin feature
+counts are modelled as draws from host-specific heavy-tailed distributions
+(lognormal bodies with Pareto tails), modulated by activity levels.  The
+samplers here wrap numpy's generators behind a small uniform interface so the
+workload code can compose them (mixtures, truncation) without caring which
+family is underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive, require_probability
+
+
+class Sampler:
+    """Interface: a distribution that can be sampled with an explicit RNG."""
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw ``size`` samples (or a scalar when ``size`` is None)."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Analytic mean when available (used in tests), else NaN."""
+        return float("nan")
+
+
+class LogNormalSampler(Sampler):
+    """Lognormal distribution parameterised by the log-space mean and sigma."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        require_positive(sigma, "sigma")
+        self._mu = float(mu)
+        self._sigma = float(sigma)
+
+    @property
+    def mu(self) -> float:
+        """Log-space mean."""
+        return self._mu
+
+    @property
+    def sigma(self) -> float:
+        """Log-space standard deviation."""
+        return self._sigma
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.lognormal(mean=self._mu, sigma=self._sigma, size=size)
+
+    def mean(self) -> float:
+        return float(np.exp(self._mu + self._sigma ** 2 / 2.0))
+
+    def quantile(self, p: float) -> float:
+        """Analytic quantile via the normal quantile of the log."""
+        require_probability(p, "p")
+        require(0.0 < p < 1.0, "p must be strictly inside (0, 1)")
+        return float(np.exp(self._mu + self._sigma * _normal_quantile(p)))
+
+
+class ParetoSampler(Sampler):
+    """Pareto (type I) distribution with scale ``xm`` and shape ``alpha``."""
+
+    def __init__(self, xm: float, alpha: float) -> None:
+        require_positive(xm, "xm")
+        require_positive(alpha, "alpha")
+        self._xm = float(xm)
+        self._alpha = float(alpha)
+
+    @property
+    def xm(self) -> float:
+        """Scale (minimum value)."""
+        return self._xm
+
+    @property
+    def alpha(self) -> float:
+        """Tail index; smaller alpha means heavier tails."""
+        return self._alpha
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return self._xm * (1.0 + rng.pareto(self._alpha, size=size))
+
+    def mean(self) -> float:
+        if self._alpha <= 1.0:
+            return float("inf")
+        return self._alpha * self._xm / (self._alpha - 1.0)
+
+    def quantile(self, p: float) -> float:
+        """Analytic quantile of the Pareto distribution."""
+        require_probability(p, "p")
+        require(p < 1.0, "p must be < 1")
+        return float(self._xm / (1.0 - p) ** (1.0 / self._alpha))
+
+
+class PoissonSampler(Sampler):
+    """Poisson counts with rate ``lam`` (used for light discrete features)."""
+
+    def __init__(self, lam: float) -> None:
+        require(lam >= 0, "lam must be non-negative")
+        self._lam = float(lam)
+
+    @property
+    def lam(self) -> float:
+        """Poisson rate."""
+        return self._lam
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.poisson(self._lam, size=size)
+
+    def mean(self) -> float:
+        return self._lam
+
+
+class ZipfSampler(Sampler):
+    """Zipf-distributed positive integers (destination popularity, fan-out)."""
+
+    def __init__(self, exponent: float, max_value: Optional[int] = None) -> None:
+        require(exponent > 1.0, "Zipf exponent must be > 1")
+        self._exponent = float(exponent)
+        self._max_value = max_value
+
+    @property
+    def exponent(self) -> float:
+        """Zipf exponent."""
+        return self._exponent
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        values = rng.zipf(self._exponent, size=size)
+        if self._max_value is not None:
+            values = np.minimum(values, self._max_value)
+        return values
+
+
+class MixtureSampler(Sampler):
+    """Finite mixture of samplers with fixed component weights.
+
+    The workload generator uses mixtures to model a lognormal "body" with a
+    Pareto "tail" component triggered only occasionally — exactly the fringe
+    behaviour the paper's detectors key on.
+    """
+
+    def __init__(self, components: Sequence[Sampler], weights: Sequence[float]) -> None:
+        require(len(components) == len(weights), "components and weights must align")
+        require(len(components) > 0, "mixture needs at least one component")
+        weight_array = np.asarray(weights, dtype=float)
+        require(np.all(weight_array >= 0), "weights must be non-negative")
+        total = float(np.sum(weight_array))
+        require_positive(total, "sum of weights")
+        self._components = list(components)
+        self._weights = weight_array / total
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised component weights (copy)."""
+        return self._weights.copy()
+
+    @property
+    def components(self) -> Sequence[Sampler]:
+        """The mixture components."""
+        return tuple(self._components)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        if size is None:
+            index = int(rng.choice(len(self._components), p=self._weights))
+            return self._components[index].sample(rng)
+        indices = rng.choice(len(self._components), size=size, p=self._weights)
+        output = np.empty(size, dtype=float)
+        for component_index, component in enumerate(self._components):
+            mask = indices == component_index
+            count = int(np.count_nonzero(mask))
+            if count:
+                output[mask] = np.asarray(component.sample(rng, size=count), dtype=float)
+        return output
+
+    def mean(self) -> float:
+        component_means = np.array([component.mean() for component in self._components])
+        return float(np.sum(self._weights * component_means))
+
+
+class TruncatedSampler(Sampler):
+    """Clamp another sampler's output into ``[low, high]``."""
+
+    def __init__(self, inner: Sampler, low: float = 0.0, high: float = float("inf")) -> None:
+        require(high > low, "high must exceed low")
+        self._inner = inner
+        self._low = float(low)
+        self._high = float(high)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        values = self._inner.sample(rng, size=size)
+        return np.clip(values, self._low, self._high)
+
+
+def _normal_quantile(p: float) -> float:
+    """Acklam's approximation of the standard normal quantile function."""
+    # Coefficients for the rational approximations.
+    a = [-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00]
+    p_low = 0.02425
+    if p < p_low:
+        q = np.sqrt(-2.0 * np.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    q = np.sqrt(-2.0 * np.log(1.0 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)

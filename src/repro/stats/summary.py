@@ -1,0 +1,68 @@
+"""Summary statistics containers used in reports and experiment outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Five-number-plus summary of a sample, used for boxplot-style reporting.
+
+    The paper's Figure 3(a) and Figure 4(b) are boxplots; experiment drivers
+    return these summaries instead of raw arrays so the benchmark harness can
+    print the same "rows" the paper plots.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    p95: float
+    p99: float
+
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    def to_dict(self) -> Dict[str, float]:
+        """Render as a plain dict (stable key order) for report tables."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Compute a :class:`SummaryStatistics` over ``values``."""
+    data = np.asarray(values, dtype=float)
+    require(data.size > 0, "summarize requires at least one value")
+    return SummaryStatistics(
+        count=int(data.size),
+        mean=float(np.mean(data)),
+        std=float(np.std(data)),
+        minimum=float(np.min(data)),
+        q1=float(np.percentile(data, 25)),
+        median=float(np.percentile(data, 50)),
+        q3=float(np.percentile(data, 75)),
+        maximum=float(np.max(data)),
+        p95=float(np.percentile(data, 95)),
+        p99=float(np.percentile(data, 99)),
+    )

@@ -1,0 +1,122 @@
+"""End-host capture sessions.
+
+The paper's data collector ran directly on each laptop and recorded not only
+packets but also changes of IP address, interface and location (work, home,
+travel).  :class:`CaptureSession` models the metadata side of that collector:
+a timeline of :class:`CaptureEnvironment` segments which the workload
+generator uses to modulate traffic intensity and which analysis code can use
+to slice traces by location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from repro.utils.validation import require
+
+
+class NetworkLocation(Enum):
+    """Where the laptop is attached to the network."""
+
+    OFFICE_WIRED = "office_wired"
+    OFFICE_WIRELESS = "office_wireless"
+    HOME = "home"
+    TRAVEL = "travel"
+    OFFLINE = "offline"
+
+    @property
+    def inside_enterprise(self) -> bool:
+        """True when the host is on the corporate network."""
+        return self in (NetworkLocation.OFFICE_WIRED, NetworkLocation.OFFICE_WIRELESS)
+
+
+@dataclass(frozen=True)
+class CaptureEnvironment:
+    """A contiguous interval during which the host's network attachment is stable."""
+
+    start_time: float
+    end_time: float
+    location: NetworkLocation
+    host_ip: int
+    interface: str = "eth0"
+
+    def __post_init__(self) -> None:
+        require(self.end_time > self.start_time, "environment interval must have positive length")
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end_time - self.start_time
+
+    def contains(self, timestamp: float) -> bool:
+        """True when ``timestamp`` falls in [start, end)."""
+        return self.start_time <= timestamp < self.end_time
+
+
+@dataclass
+class CaptureSession:
+    """Capture metadata for one monitored end host.
+
+    Attributes
+    ----------
+    host_id:
+        Stable identifier of the monitored host (0..N-1 for the enterprise
+        population).
+    environments:
+        Time-ordered, non-overlapping environment segments.
+    """
+
+    host_id: int
+    environments: List[CaptureEnvironment] = field(default_factory=list)
+
+    def add_environment(self, environment: CaptureEnvironment) -> None:
+        """Append an environment segment; must not overlap the previous one."""
+        if self.environments:
+            last = self.environments[-1]
+            require(
+                environment.start_time >= last.end_time - 1e-9,
+                "environments must be appended in time order without overlap",
+            )
+        self.environments.append(environment)
+
+    @property
+    def start_time(self) -> float:
+        """Start of the first environment (or 0 when empty)."""
+        return self.environments[0].start_time if self.environments else 0.0
+
+    @property
+    def end_time(self) -> float:
+        """End of the last environment (or 0 when empty)."""
+        return self.environments[-1].end_time if self.environments else 0.0
+
+    def environment_at(self, timestamp: float) -> Optional[CaptureEnvironment]:
+        """Return the environment covering ``timestamp`` (None when offline gaps exist)."""
+        for environment in self.environments:
+            if environment.contains(timestamp):
+                return environment
+        return None
+
+    def location_at(self, timestamp: float) -> NetworkLocation:
+        """Return the location at ``timestamp`` (OFFLINE when no segment covers it)."""
+        environment = self.environment_at(timestamp)
+        return environment.location if environment is not None else NetworkLocation.OFFLINE
+
+    def online_fraction(self) -> float:
+        """Fraction of the session during which the host was not OFFLINE."""
+        total = self.end_time - self.start_time
+        if total <= 0:
+            return 0.0
+        online = sum(
+            environment.duration
+            for environment in self.environments
+            if environment.location != NetworkLocation.OFFLINE
+        )
+        return online / total
+
+    def time_in_location(self, location: NetworkLocation) -> float:
+        """Total seconds spent in ``location``."""
+        return sum(
+            environment.duration for environment in self.environments if environment.location == location
+        )

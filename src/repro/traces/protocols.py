@@ -1,0 +1,63 @@
+"""Application-protocol classification of connection records.
+
+The paper's features distinguish DNS connections, HTTP connections (TCP port
+80) and everything else.  Classification here is port-based, like the original
+Bro policy scripts the authors relied on for per-source connection features.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+from repro.traces.flow import ConnectionRecord
+from repro.traces.packet import IPProtocol
+
+
+class ApplicationProtocol(Enum):
+    """Coarse application classes used by the feature definitions."""
+
+    DNS = "dns"
+    HTTP = "http"
+    HTTPS = "https"
+    SMTP = "smtp"
+    OTHER_TCP = "other_tcp"
+    OTHER_UDP = "other_udp"
+    OTHER = "other"
+
+
+#: Well-known ports mapped to application classes (destination-port based).
+WELL_KNOWN_PORTS: Dict[int, ApplicationProtocol] = {
+    53: ApplicationProtocol.DNS,
+    80: ApplicationProtocol.HTTP,
+    8080: ApplicationProtocol.HTTP,
+    443: ApplicationProtocol.HTTPS,
+    25: ApplicationProtocol.SMTP,
+    587: ApplicationProtocol.SMTP,
+}
+
+
+def classify_connection(record: ConnectionRecord) -> ApplicationProtocol:
+    """Classify a connection record into an application class."""
+    mapped = WELL_KNOWN_PORTS.get(record.dst_port)
+    if mapped is not None:
+        if mapped == ApplicationProtocol.DNS and record.protocol not in (IPProtocol.UDP, IPProtocol.TCP):
+            return ApplicationProtocol.OTHER
+        if mapped == ApplicationProtocol.HTTP and record.protocol != IPProtocol.TCP:
+            return ApplicationProtocol.OTHER_UDP
+        return mapped
+    if record.protocol == IPProtocol.TCP:
+        return ApplicationProtocol.OTHER_TCP
+    if record.protocol == IPProtocol.UDP:
+        return ApplicationProtocol.OTHER_UDP
+    return ApplicationProtocol.OTHER
+
+
+def is_dns(record: ConnectionRecord) -> bool:
+    """True when the record is a DNS query/connection."""
+    return classify_connection(record) == ApplicationProtocol.DNS
+
+
+def is_http(record: ConnectionRecord) -> bool:
+    """True when the record is an HTTP (port 80/8080) connection."""
+    return classify_connection(record) == ApplicationProtocol.HTTP

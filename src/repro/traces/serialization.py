@@ -1,0 +1,155 @@
+"""Binary serialization of packet and connection traces.
+
+The collection tool in the paper stored windump captures on each laptop and
+shipped them to a central store.  Here traces are stored in a compact custom
+binary format (fixed-width little-endian records with a small header) so the
+repository does not depend on libpcap.  The format is versioned and validated
+on read.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import List, Union
+
+from repro.traces.flow import ConnectionRecord, FiveTuple, FlowDirection
+from repro.traces.packet import IPProtocol, Packet, TCPFlags
+from repro.utils.validation import ValidationError, require
+
+_PACKET_MAGIC = b"RPKT"
+_CONNECTION_MAGIC = b"RCON"
+_FORMAT_VERSION = 1
+
+# timestamp, src_ip, dst_ip, protocol, src_port, dst_port, flags, payload_length
+_PACKET_STRUCT = struct.Struct("<dIIBHHBI")
+# start, end, src_ip, dst_ip, src_port, dst_port, protocol, direction, syn, packets, bytes, established
+_CONNECTION_STRUCT = struct.Struct("<ddIIHHBBIIQB")
+
+PathLike = Union[str, Path]
+
+
+def _write_header(handle, magic: bytes, count: int) -> None:
+    handle.write(magic)
+    handle.write(struct.pack("<HI", _FORMAT_VERSION, count))
+
+
+def _read_header(handle, magic: bytes) -> int:
+    header = handle.read(len(magic) + 6)
+    if len(header) != len(magic) + 6 or header[: len(magic)] != magic:
+        raise ValidationError("not a valid trace file (bad magic)")
+    version, count = struct.unpack("<HI", header[len(magic):])
+    if version != _FORMAT_VERSION:
+        raise ValidationError(f"unsupported trace format version {version}")
+    return count
+
+
+def write_packets(path: PathLike, packets: List[Packet]) -> None:
+    """Write a packet trace to ``path``."""
+    with open(path, "wb") as handle:
+        _write_header(handle, _PACKET_MAGIC, len(packets))
+        for packet in packets:
+            handle.write(
+                _PACKET_STRUCT.pack(
+                    packet.timestamp,
+                    packet.src_ip,
+                    packet.dst_ip,
+                    int(packet.protocol),
+                    packet.src_port,
+                    packet.dst_port,
+                    int(packet.flags),
+                    packet.payload_length,
+                )
+            )
+
+
+def read_packets(path: PathLike) -> List[Packet]:
+    """Read a packet trace from ``path``."""
+    packets: List[Packet] = []
+    with open(path, "rb") as handle:
+        count = _read_header(handle, _PACKET_MAGIC)
+        for _ in range(count):
+            chunk = handle.read(_PACKET_STRUCT.size)
+            require(len(chunk) == _PACKET_STRUCT.size, "truncated packet trace file")
+            timestamp, src_ip, dst_ip, protocol, src_port, dst_port, flags, payload = (
+                _PACKET_STRUCT.unpack(chunk)
+            )
+            packets.append(
+                Packet(
+                    timestamp=timestamp,
+                    src_ip=src_ip,
+                    dst_ip=dst_ip,
+                    protocol=IPProtocol(protocol),
+                    src_port=src_port,
+                    dst_port=dst_port,
+                    flags=TCPFlags(flags),
+                    payload_length=payload,
+                )
+            )
+    return packets
+
+
+def write_connections(path: PathLike, connections: List[ConnectionRecord]) -> None:
+    """Write a connection-record trace to ``path``."""
+    with open(path, "wb") as handle:
+        _write_header(handle, _CONNECTION_MAGIC, len(connections))
+        for record in connections:
+            handle.write(
+                _CONNECTION_STRUCT.pack(
+                    record.start_time,
+                    record.end_time,
+                    record.key.src_ip,
+                    record.key.dst_ip,
+                    record.key.src_port,
+                    record.key.dst_port,
+                    int(record.key.protocol),
+                    1 if record.direction == FlowDirection.OUTBOUND else 0,
+                    record.syn_count,
+                    record.packet_count,
+                    record.byte_count,
+                    1 if record.established else 0,
+                )
+            )
+
+
+def read_connections(path: PathLike) -> List[ConnectionRecord]:
+    """Read a connection-record trace from ``path``."""
+    records: List[ConnectionRecord] = []
+    with open(path, "rb") as handle:
+        count = _read_header(handle, _CONNECTION_MAGIC)
+        for _ in range(count):
+            chunk = handle.read(_CONNECTION_STRUCT.size)
+            require(len(chunk) == _CONNECTION_STRUCT.size, "truncated connection trace file")
+            (
+                start_time,
+                end_time,
+                src_ip,
+                dst_ip,
+                src_port,
+                dst_port,
+                protocol,
+                outbound,
+                syn_count,
+                packet_count,
+                byte_count,
+                established,
+            ) = _CONNECTION_STRUCT.unpack(chunk)
+            records.append(
+                ConnectionRecord(
+                    start_time=start_time,
+                    end_time=end_time,
+                    key=FiveTuple(
+                        src_ip=src_ip,
+                        dst_ip=dst_ip,
+                        src_port=src_port,
+                        dst_port=dst_port,
+                        protocol=IPProtocol(protocol),
+                    ),
+                    direction=FlowDirection.OUTBOUND if outbound else FlowDirection.INBOUND,
+                    syn_count=syn_count,
+                    packet_count=packet_count,
+                    byte_count=byte_count,
+                    established=bool(established),
+                )
+            )
+    return records

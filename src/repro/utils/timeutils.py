@@ -1,0 +1,124 @@
+"""Time and binning helpers.
+
+The paper aggregates per-host traffic features into fixed-size time bins
+(5-minute and 15-minute windows) over multi-week traces.  All timestamps in
+this library are plain ``float`` seconds since an arbitrary trace epoch
+(``t = 0`` is the start of the observation period), which keeps the math
+simple and avoids timezone concerns that do not matter for the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.utils.validation import require, require_positive
+
+#: Number of seconds in one minute.
+MINUTE: float = 60.0
+#: Number of seconds in one hour.
+HOUR: float = 60.0 * MINUTE
+#: Number of seconds in one day.
+DAY: float = 24.0 * HOUR
+#: Number of seconds in one week.
+WEEK: float = 7.0 * DAY
+
+
+@dataclass(frozen=True)
+class BinSpec:
+    """Specification of a fixed-width binning of the time axis.
+
+    Parameters
+    ----------
+    width:
+        Bin width in seconds (e.g. ``15 * MINUTE`` for the paper's default).
+    origin:
+        Timestamp of the left edge of bin 0.  Defaults to ``0.0``.
+    """
+
+    width: float
+    origin: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.width, "width")
+
+    def index_of(self, timestamp: float) -> int:
+        """Return the index of the bin containing ``timestamp``."""
+        return int((timestamp - self.origin) // self.width)
+
+    def start_of(self, index: int) -> float:
+        """Return the timestamp of the left edge of bin ``index``."""
+        return self.origin + index * self.width
+
+    def end_of(self, index: int) -> float:
+        """Return the timestamp of the right edge of bin ``index``."""
+        return self.origin + (index + 1) * self.width
+
+    def span(self, index: int) -> Tuple[float, float]:
+        """Return the ``(start, end)`` interval covered by bin ``index``."""
+        return self.start_of(index), self.end_of(index)
+
+    def count_until(self, duration: float) -> int:
+        """Number of complete bins that fit in ``duration`` seconds."""
+        require(duration >= 0, "duration must be non-negative")
+        return int(duration // self.width)
+
+
+#: The paper's default binning (15-minute windows).
+DEFAULT_BIN = BinSpec(width=15 * MINUTE)
+
+
+def bin_index(timestamp: float, width: float, origin: float = 0.0) -> int:
+    """Return the index of the bin of size ``width`` containing ``timestamp``."""
+    require_positive(width, "width")
+    return int((timestamp - origin) // width)
+
+
+def bin_start(index: int, width: float, origin: float = 0.0) -> float:
+    """Return the start timestamp of bin ``index`` for bins of size ``width``."""
+    require_positive(width, "width")
+    return origin + index * width
+
+
+def bins_per_day(width: float) -> int:
+    """Number of bins of size ``width`` in one day (must divide evenly)."""
+    require_positive(width, "width")
+    count = DAY / width
+    require(abs(count - round(count)) < 1e-9, "bin width must evenly divide one day")
+    return int(round(count))
+
+
+def bins_per_week(width: float) -> int:
+    """Number of bins of size ``width`` in one week (must divide evenly)."""
+    return bins_per_day(width) * 7
+
+
+def iter_bins(start: float, end: float, width: float) -> Iterator[Tuple[int, float, float]]:
+    """Yield ``(index, bin_start, bin_end)`` for every bin overlapping [start, end).
+
+    The first yielded bin contains ``start``; the last contains the largest
+    timestamp strictly below ``end``.
+    """
+    require_positive(width, "width")
+    require(end >= start, "end must be >= start")
+    if end == start:
+        return
+    first = bin_index(start, width)
+    last = bin_index(end - 1e-12, width)
+    for index in range(first, last + 1):
+        yield index, bin_start(index, width), bin_start(index + 1, width)
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a compact human-readable form (``1w2d3h``)."""
+    require(seconds >= 0, "seconds must be non-negative")
+    remaining = float(seconds)
+    parts = []
+    for label, unit in (("w", WEEK), ("d", DAY), ("h", HOUR), ("m", MINUTE)):
+        if remaining >= unit:
+            count = int(remaining // unit)
+            parts.append(f"{count}{label}")
+            remaining -= count * unit
+    if remaining > 1e-9 or not parts:
+        parts.append(f"{remaining:.0f}s")
+    return "".join(parts)

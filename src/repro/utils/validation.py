@@ -1,0 +1,51 @@
+"""Argument validation helpers.
+
+The library is meant to be used programmatically by downstream experiments, so
+constructor and function arguments are validated eagerly with clear error
+messages instead of failing deep inside numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+class ValidationError(ValueError):
+    """Raised when an argument fails validation."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> None:
+    """Require that ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = types.__name__ if isinstance(types, type) else "/".join(t.__name__ for t in types)
+        raise ValidationError(f"{name} must be of type {expected}, got {type(value).__name__}")
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Require ``value >= 0``."""
+    if not value >= 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not (0.0 <= value <= 1.0):
+        raise ValidationError(f"{name} must be a probability in [0, 1], got {value!r}")
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")

@@ -1,0 +1,172 @@
+"""Laptop mobility: office / home / travel / offline segments.
+
+95% of the paper's monitored hosts were laptops whose collection tool followed
+them out of the enterprise.  Mobility affects the workload in two ways: the
+host is sometimes offline (zero traffic), and home/travel segments carry a
+different activity multiplier than office segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.traces.capture import CaptureEnvironment, CaptureSession, NetworkLocation
+from repro.utils.rng import RandomSource
+from repro.utils.timeutils import DAY, HOUR, WEEK
+from repro.utils.validation import require, require_in_range, require_positive
+
+
+#: Activity multiplier applied on top of the diurnal pattern per location.
+LOCATION_ACTIVITY: Dict[NetworkLocation, float] = {
+    NetworkLocation.OFFICE_WIRED: 1.0,
+    NetworkLocation.OFFICE_WIRELESS: 0.9,
+    NetworkLocation.HOME: 0.6,
+    NetworkLocation.TRAVEL: 0.35,
+    NetworkLocation.OFFLINE: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class MobilityModel:
+    """Stochastic daily schedule of a mobile enterprise laptop.
+
+    Each weekday the host is at the office during working hours (wired or
+    wireless), usually online at home in the evening, and offline overnight.
+    Weekends are mostly offline with occasional home sessions.  Desktop hosts
+    (``is_laptop = False``) stay on the wired office network around the clock.
+
+    Attributes
+    ----------
+    is_laptop:
+        Whether the host moves at all.
+    home_evening_probability:
+        Probability that a weekday evening includes a home online session.
+    weekend_home_probability:
+        Probability that a weekend day includes a home online session.
+    travel_day_probability:
+        Probability that a weekday is spent travelling instead of at the
+        office.
+    wireless_probability:
+        Probability that an office day uses the wireless network.
+    """
+
+    is_laptop: bool = True
+    home_evening_probability: float = 0.6
+    weekend_home_probability: float = 0.35
+    travel_day_probability: float = 0.05
+    wireless_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "home_evening_probability",
+            "weekend_home_probability",
+            "travel_day_probability",
+            "wireless_probability",
+        ):
+            require_in_range(getattr(self, name), 0.0, 1.0, name)
+
+
+def generate_capture_session(
+    host_id: int,
+    host_ip: int,
+    duration: float,
+    random_source: RandomSource,
+    model: MobilityModel,
+) -> CaptureSession:
+    """Generate the environment timeline of one host for ``duration`` seconds.
+
+    The timeline is a sequence of day-by-day segments; offline periods are
+    represented explicitly so that analyses can distinguish "no traffic
+    because offline" from "online but idle".
+    """
+    require_positive(duration, "duration")
+    rng = random_source.child("mobility", host_id).generator
+    session = CaptureSession(host_id=host_id)
+
+    if not model.is_laptop:
+        session.add_environment(
+            CaptureEnvironment(
+                start_time=0.0,
+                end_time=duration,
+                location=NetworkLocation.OFFICE_WIRED,
+                host_ip=host_ip,
+                interface="eth0",
+            )
+        )
+        return session
+
+    num_days = int(np.ceil(duration / DAY))
+    for day in range(num_days):
+        day_start = day * DAY
+        day_end = min((day + 1) * DAY, duration)
+        weekday = (day % 7) < 5
+        segments = _weekday_segments(rng, model) if weekday else _weekend_segments(rng, model)
+        for start_hour, end_hour, location in segments:
+            start = day_start + start_hour * HOUR
+            end = min(day_start + end_hour * HOUR, day_end)
+            if end <= start:
+                continue
+            interface = "wlan0" if location in (NetworkLocation.OFFICE_WIRELESS, NetworkLocation.HOME) else "eth0"
+            session.add_environment(
+                CaptureEnvironment(
+                    start_time=start,
+                    end_time=end,
+                    location=location,
+                    host_ip=host_ip,
+                    interface=interface,
+                )
+            )
+        if day_end >= duration:
+            break
+    return session
+
+
+def _weekday_segments(rng: np.random.Generator, model: MobilityModel):
+    """Return (start_hour, end_hour, location) tuples for one weekday."""
+    segments = [(0.0, 8.0, NetworkLocation.OFFLINE)]
+    if rng.uniform() < model.travel_day_probability:
+        segments.append((8.0, 18.0, NetworkLocation.TRAVEL))
+    else:
+        office = (
+            NetworkLocation.OFFICE_WIRELESS
+            if rng.uniform() < model.wireless_probability
+            else NetworkLocation.OFFICE_WIRED
+        )
+        arrival = float(rng.uniform(8.0, 9.5))
+        departure = float(rng.uniform(17.0, 19.0))
+        segments.append((8.0, arrival, NetworkLocation.OFFLINE))
+        segments.append((arrival, departure, office))
+        segments.append((departure, 20.0, NetworkLocation.OFFLINE))
+    if rng.uniform() < model.home_evening_probability:
+        segments.append((20.0, float(rng.uniform(22.0, 24.0)), NetworkLocation.HOME))
+    # Collapse to a clean, sorted, non-overlapping list ending at 24h offline.
+    segments = sorted(segments, key=lambda item: item[0])
+    cleaned = []
+    cursor = 0.0
+    for start, end, location in segments:
+        start = max(start, cursor)
+        if end <= start:
+            continue
+        if start > cursor:
+            cleaned.append((cursor, start, NetworkLocation.OFFLINE))
+        cleaned.append((start, end, location))
+        cursor = end
+    if cursor < 24.0:
+        cleaned.append((cursor, 24.0, NetworkLocation.OFFLINE))
+    return cleaned
+
+
+def _weekend_segments(rng: np.random.Generator, model: MobilityModel):
+    """Return (start_hour, end_hour, location) tuples for one weekend day."""
+    if rng.uniform() < model.weekend_home_probability:
+        start = float(rng.uniform(10.0, 14.0))
+        end = float(rng.uniform(start + 1.0, 23.0))
+        return [
+            (0.0, start, NetworkLocation.OFFLINE),
+            (start, end, NetworkLocation.HOME),
+            (end, 24.0, NetworkLocation.OFFLINE),
+        ]
+    return [(0.0, 24.0, NetworkLocation.OFFLINE)]

@@ -1,0 +1,239 @@
+"""Tests for detectors, HIDS agents, the central console and the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import uniform_injection
+from repro.attacks.naive import NaiveAttacker
+from repro.core.console import CentralConsole
+from repro.core.detector import ThresholdDetector
+from repro.core.evaluation import (
+    EvaluationProtocol,
+    evaluate_policy_on_feature,
+    training_distributions,
+    weekly_train_test_pairs,
+)
+from repro.core.hids import AlertBatch, HIDSAgent, HIDSConfiguration
+from repro.core.policies import FullDiversityPolicy, HomogeneousPolicy, PartialDiversityPolicy
+from repro.features.definitions import Feature
+from repro.features.streaming import WindowCounts
+from repro.features.timeseries import FeatureMatrix, TimeSeries
+from repro.utils.timeutils import BinSpec, DAY, MINUTE, WEEK
+from repro.utils.validation import ValidationError
+
+
+def _series(values):
+    return TimeSeries(values, BinSpec(width=15 * MINUTE))
+
+
+def _matrix(values, host_id=1, feature=Feature.TCP_CONNECTIONS):
+    return FeatureMatrix(host_id=host_id, series={feature: _series(values)})
+
+
+class TestThresholdDetector:
+    def test_alert_generation_with_ground_truth(self):
+        detector = ThresholdDetector(1, Feature.TCP_CONNECTIONS, threshold=10.0)
+        series = _series([5, 15, 8, 20])
+        alerts = detector.evaluate(series, attack_mask=[False, True, False, False])
+        assert len(alerts) == 2
+        assert alerts[0].is_true_positive is True
+        assert alerts[1].is_true_positive is False
+        assert alerts[0].excess == pytest.approx(5.0)
+
+    def test_rates(self):
+        detector = ThresholdDetector(1, Feature.TCP_CONNECTIONS, threshold=10.0)
+        benign = _series([5, 5, 5, 20])
+        assert detector.false_positive_rate(benign) == pytest.approx(0.25)
+        fn = detector.false_negative_rate(benign, attack_amounts=[4.0, 0.0, 10.0, 0.0])
+        # attacked bins: 0 (5+4=9 <= 10 missed) and 2 (5+10=15 > 10 detected)
+        assert fn == pytest.approx(0.5)
+
+    def test_false_negative_no_attack_bins(self):
+        detector = ThresholdDetector(1, Feature.TCP_CONNECTIONS, threshold=10.0)
+        assert detector.false_negative_rate(_series([1, 2]), [0.0, 0.0]) == 0.0
+
+    def test_threshold_update(self):
+        detector = ThresholdDetector(1, Feature.TCP_CONNECTIONS, threshold=10.0)
+        detector.update_threshold(3.0)
+        assert detector.check(5.0)
+        with pytest.raises(ValidationError):
+            detector.update_threshold(-1.0)
+
+    def test_mask_length_validation(self):
+        detector = ThresholdDetector(1, Feature.TCP_CONNECTIONS, threshold=1.0)
+        with pytest.raises(ValidationError):
+            detector.evaluate(_series([1, 2]), attack_mask=[True])
+
+
+class TestHIDSAgent:
+    def _configuration(self, host_id=1):
+        return HIDSConfiguration(
+            host_id=host_id,
+            thresholds={Feature.TCP_CONNECTIONS: 10.0, Feature.UDP_CONNECTIONS: 5.0},
+            batch_interval=DAY,
+        )
+
+    def test_evaluate_matrix_collects_alerts(self):
+        agent = HIDSAgent(self._configuration())
+        matrix = FeatureMatrix(
+            host_id=1,
+            series={
+                Feature.TCP_CONNECTIONS: _series([5, 50]),
+                Feature.UDP_CONNECTIONS: _series([1, 20]),
+            },
+        )
+        alerts = agent.evaluate_matrix(matrix)
+        assert len(alerts) == 2
+        assert agent.pending_alert_count == 2
+
+    def test_observe_window_streaming(self):
+        agent = HIDSAgent(self._configuration())
+        window = WindowCounts(
+            window_index=3,
+            start_time=3 * 900.0,
+            end_time=4 * 900.0,
+            counts={Feature.TCP_CONNECTIONS: 100.0, Feature.UDP_CONNECTIONS: 0.0},
+        )
+        alerts = agent.observe_window(window)
+        assert len(alerts) == 1
+        assert alerts[0].feature == Feature.TCP_CONNECTIONS
+
+    def test_batching_interval(self):
+        agent = HIDSAgent(self._configuration())
+        agent.evaluate_matrix(_matrix([100.0]))
+        assert agent.ship_batch(now=DAY / 2) is None  # too early
+        batch = agent.ship_batch(now=2 * DAY)
+        assert isinstance(batch, AlertBatch)
+        assert batch.alert_count == 1
+        assert agent.pending_alert_count == 0
+
+    def test_flush_ships_everything(self):
+        agent = HIDSAgent(self._configuration())
+        agent.evaluate_matrix(_matrix([100.0]))
+        assert agent.flush(now=10.0).alert_count == 1
+        assert agent.flush(now=20.0) is None
+
+    def test_reconfigure(self):
+        agent = HIDSAgent(self._configuration())
+        agent.reconfigure(
+            HIDSConfiguration(host_id=1, thresholds={Feature.TCP_CONNECTIONS: 1000.0})
+        )
+        assert agent.detector(Feature.TCP_CONNECTIONS).threshold == 1000.0
+        with pytest.raises(ValidationError):
+            agent.reconfigure(HIDSConfiguration(host_id=2, thresholds={Feature.TCP_CONNECTIONS: 1.0}))
+
+    def test_wrong_host_matrix_rejected(self):
+        agent = HIDSAgent(self._configuration(host_id=1))
+        with pytest.raises(ValidationError):
+            agent.evaluate_matrix(_matrix([1.0], host_id=2))
+
+
+class TestCentralConsole:
+    def test_report_counts_false_alarms_per_week(self):
+        console = CentralConsole()
+        agent = HIDSAgent(
+            HIDSConfiguration(host_id=1, thresholds={Feature.TCP_CONNECTIONS: 10.0})
+        )
+        agent.evaluate_matrix(_matrix([50.0, 5.0, 60.0]))
+        console.receive_batch(agent.flush(now=100.0))
+        report = console.report(duration=WEEK)
+        assert report.total_alerts == 2
+        assert report.false_alarms == 2
+        assert report.false_alarms_per_week == pytest.approx(2.0)
+        assert report.alerts_per_host[1] == 2
+
+    def test_configuration_push(self):
+        console = CentralConsole()
+        configuration = HIDSConfiguration(host_id=5, thresholds={Feature.TCP_CONNECTIONS: 3.0})
+        console.push_configuration(configuration)
+        assert console.configuration_for(5) is configuration
+        assert console.configured_host_count == 1
+
+    def test_reset(self):
+        console = CentralConsole()
+        console.receive_alerts(
+            ThresholdDetector(1, Feature.TCP_CONNECTIONS, 1.0).evaluate(_series([5.0]))
+        )
+        assert console.alert_count == 1
+        console.reset()
+        assert console.alert_count == 0
+
+    def test_true_detection_counting(self):
+        console = CentralConsole()
+        detector = ThresholdDetector(1, Feature.TCP_CONNECTIONS, 1.0)
+        console.receive_alerts(detector.evaluate(_series([5.0, 6.0]), attack_mask=[True, False]))
+        report = console.report(duration=WEEK)
+        assert report.true_detections == 1
+        assert report.false_alarms == 1
+
+
+class TestEvaluation:
+    def test_weekly_pairs(self):
+        assert weekly_train_test_pairs(5) == [(0, 1), (2, 3)]
+        assert weekly_train_test_pairs(4, overlapping=True) == [(0, 1), (1, 2), (2, 3)]
+        with pytest.raises(ValidationError):
+            weekly_train_test_pairs(1)
+
+    def test_protocol_validation(self):
+        with pytest.raises(ValidationError):
+            EvaluationProtocol(feature=Feature.TCP_CONNECTIONS, train_week=1, test_week=1)
+
+    def test_training_distributions_active_bins(self):
+        matrices = {1: _matrix([0.0] * 671 + [100.0] * 673)}
+        active = training_distributions(matrices, Feature.TCP_CONNECTIONS, 0, active_bins_only=True)
+        full = training_distributions(matrices, Feature.TCP_CONNECTIONS, 0, active_bins_only=False)
+        assert active[1].min() > 0
+        assert full[1].min() == 0.0
+
+    def test_policy_evaluation_end_to_end(self, small_population):
+        matrices = small_population.matrices()
+        protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS, train_week=0, test_week=1)
+        evaluation = evaluate_policy_on_feature(matrices, FullDiversityPolicy(), protocol)
+        assert len(evaluation.performances) == len(matrices)
+        assert 0.0 <= evaluation.mean_utility() <= 1.0
+        # Without an attack, false negatives are zero for everyone.
+        assert all(p.false_negative_rate == 0.0 for p in evaluation.performances.values())
+        assert evaluation.total_false_alarms() >= 0
+
+    def test_policy_evaluation_with_attack(self, small_population):
+        matrices = small_population.matrices()
+        protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS, train_week=0, test_week=1)
+
+        def attack_builder(host_id, matrix):
+            return NaiveAttacker(Feature.TCP_CONNECTIONS, attack_size=50.0).build(
+                matrix, np.random.default_rng(host_id)
+            )
+
+        diversity = evaluate_policy_on_feature(
+            matrices, FullDiversityPolicy(), protocol, attack_builder=attack_builder
+        )
+        homogeneous = evaluate_policy_on_feature(
+            matrices, HomogeneousPolicy(), protocol, attack_builder=attack_builder
+        )
+        # Diversity detects the moderate attack on more hosts than the monoculture.
+        assert diversity.fraction_raising_alarm() >= homogeneous.fraction_raising_alarm()
+        assert 0.0 <= diversity.fraction_raising_alarm() <= 1.0
+
+    def test_partial_diversity_threshold_count(self, small_population):
+        matrices = small_population.matrices()
+        protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS)
+        evaluation = evaluate_policy_on_feature(matrices, PartialDiversityPolicy(), protocol)
+        assert evaluation.assignment.grouping.num_groups == 8
+
+    def test_utilities_respond_to_weight(self, small_population):
+        matrices = small_population.matrices()
+        protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS)
+
+        def attack_builder(host_id, matrix):
+            return NaiveAttacker(Feature.TCP_CONNECTIONS, attack_size=5.0).build(
+                matrix, np.random.default_rng(host_id)
+            )
+
+        evaluation = evaluate_policy_on_feature(
+            matrices, HomogeneousPolicy(), protocol, attack_builder=attack_builder
+        )
+        # A tiny attack is mostly missed under the global threshold, so utility
+        # must fall as the false-negative weight rises.
+        assert evaluation.mean_utility(0.9) < evaluation.mean_utility(0.1)

@@ -1,0 +1,145 @@
+"""Tests for repro.utils: time handling, validation, deterministic RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import RandomSource, derive_seed, spawn_rng
+from repro.utils.timeutils import (
+    BinSpec,
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    bin_index,
+    bin_start,
+    bins_per_day,
+    bins_per_week,
+    format_duration,
+    iter_bins,
+)
+from repro.utils.validation import (
+    ValidationError,
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+class TestBinSpec:
+    def test_index_of_origin(self):
+        spec = BinSpec(width=900.0)
+        assert spec.index_of(0.0) == 0
+        assert spec.index_of(899.9) == 0
+        assert spec.index_of(900.0) == 1
+
+    def test_start_and_end(self):
+        spec = BinSpec(width=900.0)
+        assert spec.start_of(2) == 1800.0
+        assert spec.end_of(2) == 2700.0
+        assert spec.span(2) == (1800.0, 2700.0)
+
+    def test_origin_shift(self):
+        spec = BinSpec(width=100.0, origin=50.0)
+        assert spec.index_of(50.0) == 0
+        assert spec.index_of(49.0) == -1
+
+    def test_count_until(self):
+        spec = BinSpec(width=900.0)
+        assert spec.count_until(WEEK) == 672
+        assert spec.count_until(0.0) == 0
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValidationError):
+            BinSpec(width=0.0)
+
+
+class TestBinHelpers:
+    def test_bins_per_day_and_week(self):
+        assert bins_per_day(15 * MINUTE) == 96
+        assert bins_per_week(15 * MINUTE) == 672
+        assert bins_per_day(5 * MINUTE) == 288
+
+    def test_bins_per_day_requires_even_division(self):
+        with pytest.raises(ValidationError):
+            bins_per_day(7 * MINUTE)
+
+    def test_bin_index_and_start_roundtrip(self):
+        width = 300.0
+        for timestamp in (0.0, 100.0, 299.9, 300.0, 12345.6):
+            index = bin_index(timestamp, width)
+            assert bin_start(index, width) <= timestamp < bin_start(index + 1, width)
+
+    def test_iter_bins_covers_interval(self):
+        bins = list(iter_bins(0.0, HOUR, 15 * MINUTE))
+        assert len(bins) == 4
+        assert bins[0][0] == 0
+        assert bins[-1][2] == HOUR
+
+    def test_iter_bins_empty_interval(self):
+        assert list(iter_bins(10.0, 10.0, 60.0)) == []
+
+    def test_format_duration(self):
+        assert format_duration(WEEK + DAY + HOUR) == "1w1d1h"
+        assert format_duration(0) == "0s"
+
+
+class TestValidation:
+    def test_require_raises_on_false(self):
+        with pytest.raises(ValidationError, match="broken"):
+            require(False, "broken")
+        require(True, "ok")
+
+    def test_require_type(self):
+        require_type(3, int, "x")
+        with pytest.raises(ValidationError):
+            require_type("3", int, "x")
+
+    def test_numeric_requirements(self):
+        require_positive(1.0, "x")
+        require_non_negative(0.0, "x")
+        require_probability(0.5, "x")
+        require_in_range(3, 1, 5, "x")
+        with pytest.raises(ValidationError):
+            require_positive(0.0, "x")
+        with pytest.raises(ValidationError):
+            require_non_negative(-0.1, "x")
+        with pytest.raises(ValidationError):
+            require_probability(1.5, "x")
+        with pytest.raises(ValidationError):
+            require_in_range(6, 1, 5, "x")
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(7).child("host", 3).generator.integers(0, 1000, size=5)
+        b = RandomSource(7).child("host", 3).generator.integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_different_streams(self):
+        a = RandomSource(7).child("host", 3).generator.integers(0, 1000, size=10)
+        b = RandomSource(7).child("host", 4).generator.integers(0, 1000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+
+    def test_spawn_rng_matches_child(self):
+        direct = spawn_rng(5, "x").integers(0, 100, size=3)
+        via_source = RandomSource(5).child("x").generator.integers(0, 100, size=3)
+        assert np.array_equal(direct, via_source)
+
+    def test_child_label_tracks_hierarchy(self):
+        child = RandomSource(1, label="root").child("a", 2)
+        assert child.label == "root/a/2"
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_derive_seed_in_range(self, seed, label):
+        derived = derive_seed(seed, label)
+        assert 0 <= derived < 2**63

@@ -1,0 +1,290 @@
+"""Tests for repro.workload: profiles, diurnal, mobility, events, generators, enterprise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.definitions import Feature, PAPER_FEATURES
+from repro.traces.capture import NetworkLocation
+from repro.utils.rng import RandomSource
+from repro.utils.timeutils import DAY, HOUR, MINUTE, WEEK, BinSpec
+from repro.utils.validation import ValidationError
+from repro.workload.diurnal import ActivityModel, always_on_pattern, office_worker_pattern
+from repro.workload.enterprise import EnterpriseConfig, generate_enterprise
+from repro.workload.events import (
+    DEFAULT_ROLLOUT_AMOUNTS,
+    ScheduledEvent,
+    build_maintenance_events,
+    event_amounts_for_bins,
+)
+from repro.workload.generator import HostSeriesGenerator, HostTraceGenerator
+from repro.workload.mobility import LOCATION_ACTIVITY, MobilityModel, generate_capture_session
+from repro.workload.profiles import ActivityLevel, HostProfile, UserRole, sample_host_profile
+
+
+class TestProfiles:
+    def test_profile_sampling_deterministic(self, random_source):
+        a = sample_host_profile(3, random_source)
+        b = sample_host_profile(3, random_source)
+        assert a.master_intensity == b.master_intensity
+        assert a.role == b.role
+
+    def test_profiles_differ_across_hosts(self, random_source):
+        profiles = [sample_host_profile(i, random_source) for i in range(20)]
+        assert len({p.master_intensity for p in profiles}) == 20
+
+    def test_all_features_have_intensity(self, random_source):
+        profile = sample_host_profile(1, random_source)
+        for feature in PAPER_FEATURES:
+            assert profile.intensity(feature).scale > 0
+            assert profile.base_rate(feature) > 0
+
+    def test_activity_level_classification(self, random_source):
+        light = sample_host_profile(1, random_source)
+        heavy = HostProfile(
+            host_id=2,
+            role=UserRole.POWER_USER,
+            master_intensity=100.0,
+            intensities=light.intensities,
+        )
+        assert heavy.activity_level == ActivityLevel.HEAVY
+        assert isinstance(light.activity_level, ActivityLevel)
+
+    def test_fixed_role_respected(self, random_source):
+        profile = sample_host_profile(5, random_source, role=UserRole.RESEARCHER)
+        assert profile.role == UserRole.RESEARCHER
+
+    def test_role_weights_sum_to_one(self):
+        assert sum(role.weight for role in UserRole) == pytest.approx(1.0)
+
+
+class TestDiurnal:
+    def test_office_pattern_peaks_during_work_hours(self):
+        pattern = office_worker_pattern()
+        working = pattern.multiplier(10 * HOUR)  # Monday 10:00
+        night = pattern.multiplier(3 * HOUR)  # Monday 03:00
+        weekend = pattern.multiplier(5 * DAY + 11 * HOUR)  # Saturday 11:00
+        assert working > weekend > night
+
+    def test_always_on_pattern_flat(self):
+        pattern = always_on_pattern()
+        assert pattern.multiplier(3 * HOUR) >= 0.7
+
+    def test_mean_multiplier_between_extremes(self):
+        pattern = office_worker_pattern()
+        mean = pattern.mean_multiplier()
+        assert 0.0 < mean < 1.0
+
+    def test_activity_model_applies_floor(self, rng):
+        model = ActivityModel(pattern=office_worker_pattern(), jitter_sigma=0.0, floor=0.1)
+        assert model.multiplier(3 * HOUR, rng) >= 0.1
+
+    def test_activity_model_vectorised(self, rng):
+        model = ActivityModel(pattern=office_worker_pattern())
+        values = model.multipliers(np.arange(0, DAY, 15 * MINUTE), rng)
+        assert values.shape == (96,)
+        assert np.all(values > 0)
+
+    def test_invalid_pattern_length_rejected(self):
+        from repro.workload.diurnal import DiurnalPattern
+
+        with pytest.raises(ValidationError):
+            DiurnalPattern(weekday_hours=[1.0] * 23, weekend_hours=[1.0] * 24)
+
+
+class TestMobility:
+    def test_desktop_always_online(self, random_source):
+        session = generate_capture_session(
+            1, 0x0A000001, WEEK, random_source, MobilityModel(is_laptop=False)
+        )
+        assert session.online_fraction() == pytest.approx(1.0)
+        assert session.location_at(3 * HOUR) == NetworkLocation.OFFICE_WIRED
+
+    def test_laptop_has_offline_periods(self, random_source):
+        session = generate_capture_session(
+            2, 0x0A000002, WEEK, random_source, MobilityModel(is_laptop=True)
+        )
+        assert 0.0 < session.online_fraction() < 1.0
+        assert session.location_at(2 * HOUR) == NetworkLocation.OFFLINE
+
+    def test_weekday_office_presence(self, random_source):
+        session = generate_capture_session(
+            3, 0x0A000003, WEEK, random_source, MobilityModel(travel_day_probability=0.0)
+        )
+        location = session.location_at(11 * HOUR)  # Monday late morning
+        assert location in (NetworkLocation.OFFICE_WIRED, NetworkLocation.OFFICE_WIRELESS)
+
+    def test_location_activity_covers_all_locations(self):
+        assert set(LOCATION_ACTIVITY) == set(NetworkLocation)
+        assert LOCATION_ACTIVITY[NetworkLocation.OFFLINE] == 0.0
+
+    def test_deterministic_for_same_host(self, random_source):
+        a = generate_capture_session(7, 1, WEEK, random_source, MobilityModel())
+        b = generate_capture_session(7, 1, WEEK, random_source, MobilityModel())
+        assert [e.location for e in a.environments] == [e.location for e in b.environments]
+
+
+class TestEvents:
+    def test_build_maintenance_events_skips_out_of_range_weeks(self):
+        events = build_maintenance_events(2, maintenance_weeks=(0, 2, 4))
+        assert len(events) == 1
+        assert events[0].name == "patch-rollout-week0"
+
+    def test_event_amounts_cover_window(self, rng):
+        events = build_maintenance_events(1, maintenance_weeks=(0,))
+        event = events[0]
+        bin_starts = np.arange(0, WEEK, 15 * MINUTE)
+        amounts = event_amounts_for_bins([event], bin_starts, 15 * MINUTE, rng)
+        if not amounts:  # 10% non-participation possibility with a single draw
+            return
+        tcp = amounts[Feature.TCP_CONNECTIONS]
+        active_bins = np.count_nonzero(tcp)
+        assert active_bins == pytest.approx(event.duration / (15 * MINUTE), abs=1)
+
+    def test_event_validation(self):
+        with pytest.raises(ValidationError):
+            ScheduledEvent(name="x", start_time=0.0, duration=0.0, feature_amounts=DEFAULT_ROLLOUT_AMOUNTS)
+        with pytest.raises(ValidationError):
+            ScheduledEvent(name="x", start_time=0.0, duration=10.0, feature_amounts={})
+
+    def test_event_covers(self):
+        event = ScheduledEvent(
+            name="x", start_time=100.0, duration=50.0, feature_amounts=DEFAULT_ROLLOUT_AMOUNTS
+        )
+        assert event.covers(100.0) and event.covers(149.0) and not event.covers(150.0)
+
+
+class TestHostSeriesGenerator:
+    def _generate(self, random_source, host_id=0, weeks=1, **kwargs):
+        profile = sample_host_profile(host_id, random_source)
+        generator = HostSeriesGenerator(profile=profile, **kwargs)
+        return generator.generate(weeks * WEEK, random_source)
+
+    def test_output_shape(self, random_source):
+        matrix = self._generate(random_source, weeks=1)
+        assert matrix.num_bins == 672
+        assert set(matrix.features) == set(PAPER_FEATURES)
+
+    def test_counts_non_negative_integers(self, random_source):
+        matrix = self._generate(random_source)
+        for feature in PAPER_FEATURES:
+            values = np.asarray(matrix[feature].values)
+            assert np.all(values >= 0)
+            assert np.allclose(values, np.round(values))
+
+    def test_consistency_constraints(self, random_source):
+        matrix = self._generate(random_source, host_id=5)
+        tcp = np.asarray(matrix[Feature.TCP_CONNECTIONS].values)
+        syn = np.asarray(matrix[Feature.TCP_SYN].values)
+        http = np.asarray(matrix[Feature.HTTP_CONNECTIONS].values)
+        distinct = np.asarray(matrix[Feature.DISTINCT_CONNECTIONS].values)
+        udp = np.asarray(matrix[Feature.UDP_CONNECTIONS].values)
+        dns = np.asarray(matrix[Feature.DNS_CONNECTIONS].values)
+        assert np.all(syn >= tcp)
+        assert np.all(http <= tcp)
+        assert np.all(distinct <= tcp + udp + dns)
+
+    def test_deterministic(self, random_source):
+        a = self._generate(random_source, host_id=2)
+        b = self._generate(random_source, host_id=2)
+        assert np.array_equal(a[Feature.TCP_CONNECTIONS].values, b[Feature.TCP_CONNECTIONS].values)
+
+    def test_heavier_profiles_generate_more_traffic(self, random_source):
+        totals = []
+        for host_id in range(12):
+            matrix = self._generate(random_source, host_id=host_id)
+            profile = sample_host_profile(host_id, random_source)
+            totals.append((profile.master_intensity, matrix[Feature.TCP_CONNECTIONS].total()))
+        totals.sort()
+        light_mean = np.mean([t for _, t in totals[:4]])
+        heavy_mean = np.mean([t for _, t in totals[-4:]])
+        assert heavy_mean > light_mean
+
+    def test_zero_drift_is_supported(self, random_source):
+        matrix = self._generate(random_source, week_drift_scale=0.0, weeks=2)
+        assert matrix.num_weeks() == 2
+
+
+class TestHostTraceGenerator:
+    def test_packet_generation_and_extraction_pipeline(self, random_source):
+        from repro.features.extractor import extract_feature_matrix
+        from repro.traces.assembler import assemble_connections
+
+        profile = sample_host_profile(1, random_source)
+        generator = HostTraceGenerator(profile=profile, sessions_per_hour=4.0)
+        duration = 6 * HOUR
+        packets = generator.generate_packets(duration, random_source)
+        assert len(packets) > 0
+        timestamps = [p.timestamp for p in packets]
+        assert timestamps == sorted(timestamps)
+
+        records = assemble_connections(packets, generator.host_ip)
+        assert len(records) > 0
+        matrix = extract_feature_matrix(1, records, duration=duration)
+        assert matrix[Feature.TCP_CONNECTIONS].total() + matrix[Feature.UDP_CONNECTIONS].total() > 0
+
+    def test_sessions_have_connections(self, random_source):
+        profile = sample_host_profile(2, random_source)
+        generator = HostTraceGenerator(profile=profile)
+        sessions = generator.generate_sessions(8 * HOUR, random_source)
+        assert sessions
+        assert all(session.connection_count >= 1 for session in sessions)
+
+
+class TestEnterprisePopulation:
+    def test_population_dimensions(self, small_population):
+        assert len(small_population) == 40
+        host = small_population.host_ids[0]
+        assert small_population.matrix(host).num_weeks() == 2
+
+    def test_tail_diversity_spans_orders_of_magnitude(self, small_population):
+        p99 = np.array(
+            list(small_population.per_host_percentiles(Feature.TCP_CONNECTIONS, 99).values())
+        )
+        p99 = p99[p99 > 0]
+        assert np.log10(p99.max() / p99.min()) > 1.3
+
+    def test_dns_spread_smaller_than_udp(self, small_population):
+        def spread(feature):
+            values = np.array(
+                list(small_population.per_host_percentiles(feature, 99).values())
+            )
+            values = values[values > 0]
+            return np.log10(values.max() / values.min())
+
+        assert spread(Feature.DNS_CONNECTIONS) < spread(Feature.UDP_CONNECTIONS)
+
+    def test_pooled_distribution_dominated_by_heavy_hosts(self, small_population):
+        pooled = small_population.pooled_distribution(Feature.TCP_CONNECTIONS)
+        per_host = small_population.per_host_percentiles(Feature.TCP_CONNECTIONS, 99)
+        assert pooled.percentile(99) > np.median(list(per_host.values()))
+
+    def test_generation_deterministic(self):
+        config = EnterpriseConfig(num_hosts=6, num_weeks=1, seed=5)
+        a = generate_enterprise(config)
+        b = generate_enterprise(config)
+        for host in a.host_ids:
+            assert np.array_equal(
+                a.matrix(host)[Feature.TCP_CONNECTIONS].values,
+                b.matrix(host)[Feature.TCP_CONNECTIONS].values,
+            )
+
+    def test_week_view(self, small_population):
+        week = small_population.week(1)
+        host = week.host_ids[0]
+        assert week.matrix(host).num_bins == 672
+
+    def test_max_observed_positive(self, small_population):
+        assert small_population.max_observed(Feature.TCP_CONNECTIONS) > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            EnterpriseConfig(num_hosts=0)
+        with pytest.raises(ValidationError):
+            EnterpriseConfig(laptop_fraction=2.0)
+
+    def test_roles_override(self):
+        config = EnterpriseConfig(num_hosts=3, num_weeks=1, seed=1)
+        population = generate_enterprise(config, roles={0: UserRole.SYSTEM_ADMINISTRATOR})
+        assert population.profile(0).role == UserRole.SYSTEM_ADMINISTRATOR
