@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from conftest import run_once
 from repro.experiments import run_fig1, run_fig2, run_table2

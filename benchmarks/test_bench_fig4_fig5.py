@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from conftest import run_once
 from repro.experiments import run_fig4, run_fig5

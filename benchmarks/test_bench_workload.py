@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from conftest import run_once
 from repro.features.extractor import extract_feature_matrix

@@ -16,7 +16,7 @@ import argparse
 
 import numpy as np
 
-from repro import Feature, PolicyComparison, quick_population
+from repro import Feature, PolicyComparison, PopulationEngine, quick_population
 from repro.attacks.naive import NaiveAttacker
 from repro.core.experiment import ExperimentContext
 from repro.experiments.report import render_table
@@ -27,10 +27,19 @@ def main() -> None:
     parser.add_argument("--hosts", type=int, default=60, help="number of end hosts to simulate")
     parser.add_argument("--seed", type=int, default=7, help="workload generation seed")
     parser.add_argument("--attack-size", type=float, default=100.0, help="injected connections per window")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="worker processes for generation (default: auto)"
+    )
     args = parser.parse_args()
 
     print(f"Generating a {args.hosts}-host, 2-week enterprise population (seed {args.seed})...")
-    population = quick_population(num_hosts=args.hosts, num_weeks=2, seed=args.seed)
+    # An explicit --workers request overrides the small-population serial
+    # heuristic; the output is bit-identical either way.
+    if args.workers is not None:
+        engine = PopulationEngine(workers=args.workers, min_parallel_hosts=1)
+    else:
+        engine = PopulationEngine()
+    population = quick_population(num_hosts=args.hosts, num_weeks=2, seed=args.seed, engine=engine)
     comparison = PolicyComparison(ExperimentContext(population))
 
     feature = Feature.TCP_CONNECTIONS

@@ -13,6 +13,8 @@ The package is organised as:
   binned time series.
 * :mod:`repro.workload` — the synthetic 350-host enterprise population that
   substitutes for the paper's proprietary traces.
+* :mod:`repro.engine` — the population engine: vectorised generation fanned
+  out across worker processes, with an on-disk population cache.
 * :mod:`repro.attacks` — naive / mimicry attackers, scan / DDoS / spam
   primitives, the Storm zombie model and attack overlay machinery.
 * :mod:`repro.experiments` — one driver per paper figure/table.
@@ -29,6 +31,8 @@ Quickstart::
         print(name, round(evaluation.mean_utility(), 4))
 """
 
+from typing import Optional
+
 from repro.core.experiment import ExperimentContext, PolicyComparison, build_context
 from repro.core.policies import (
     ConfigurationPolicy,
@@ -42,6 +46,7 @@ from repro.core.thresholds import (
     PercentileHeuristic,
     UtilityHeuristic,
 )
+from repro.engine import GenerationReport, PopulationCache, PopulationEngine
 from repro.features.definitions import Feature, PAPER_FEATURES
 from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation, generate_enterprise
 
@@ -54,6 +59,9 @@ __all__ = [
     "EnterprisePopulation",
     "generate_enterprise",
     "quick_population",
+    "PopulationEngine",
+    "PopulationCache",
+    "GenerationReport",
     "ConfigurationPolicy",
     "HomogeneousPolicy",
     "FullDiversityPolicy",
@@ -69,12 +77,18 @@ __all__ = [
 ]
 
 
-def quick_population(num_hosts: int = 60, num_weeks: int = 2, seed: int = 7) -> EnterprisePopulation:
+def quick_population(
+    num_hosts: int = 60,
+    num_weeks: int = 2,
+    seed: int = 7,
+    engine: Optional[PopulationEngine] = None,
+) -> EnterprisePopulation:
     """Generate a small population suitable for examples and quick experiments.
 
     The defaults (60 hosts, 2 weeks) run in a few seconds while still showing
     the qualitative results; pass ``num_hosts=350, num_weeks=5`` to match the
-    paper's scale.
+    paper's scale, and an ``engine`` to generate in parallel or reuse the
+    on-disk population cache.
     """
     config = EnterpriseConfig(num_hosts=num_hosts, num_weeks=num_weeks, seed=seed)
-    return generate_enterprise(config)
+    return generate_enterprise(config, engine=engine)

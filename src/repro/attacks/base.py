@@ -8,13 +8,13 @@ Overlaying the attack on the benign series is a simple element-wise addition
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.features.definitions import Feature
-from repro.features.timeseries import FeatureMatrix, TimeSeries
+from repro.features.timeseries import FeatureMatrix
 from repro.utils.timeutils import BinSpec
 from repro.utils.validation import require, require_non_negative
 

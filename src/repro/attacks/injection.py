@@ -8,7 +8,7 @@ The paper evaluates policies by replaying or synthesising attack traffic and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping
 
 import numpy as np
 

@@ -9,8 +9,8 @@ partial diversity) and pushes threshold configurations back out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.detector import Alert
 from repro.core.hids import AlertBatch, HIDSConfiguration

@@ -8,8 +8,8 @@ policies side by side under identical conditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.evaluation import (
     AttackBuilder,
@@ -28,6 +28,9 @@ from repro.features.definitions import Feature
 from repro.features.timeseries import FeatureMatrix
 from repro.utils.validation import require
 from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation, generate_enterprise
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import PopulationEngine
 
 
 @dataclass
@@ -61,9 +64,14 @@ def build_context(
     config: Optional[EnterpriseConfig] = None,
     train_week: int = 0,
     test_week: int = 1,
+    engine: Optional["PopulationEngine"] = None,
 ) -> ExperimentContext:
-    """Generate the population and wrap it in an :class:`ExperimentContext`."""
-    population = generate_enterprise(config)
+    """Generate the population and wrap it in an :class:`ExperimentContext`.
+
+    Pass an ``engine`` (see :class:`repro.engine.PopulationEngine`) to control
+    worker count and population caching; the default is serial and uncached.
+    """
+    population = generate_enterprise(config, engine=engine)
     return ExperimentContext(population=population, train_week=train_week, test_week=test_week)
 
 

@@ -10,7 +10,7 @@ can also operate in streaming mode, consuming window counts from
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.detector import Alert, ThresholdDetector

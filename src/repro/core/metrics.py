@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+import numpy as np
+
 from repro.utils.validation import require, require_probability
 
 #: The paper's default utility weight (Figure 3(a) uses w = 0.4).
@@ -109,3 +111,29 @@ def f_measure_from_rates(
     false_positives = (1.0 - attack_prevalence) * false_positive_rate
     precision, recall = precision_recall(true_positives, false_positives, false_negatives)
     return f_measure(precision, recall)
+
+
+def f_measure_from_rate_arrays(
+    false_positive_rates: np.ndarray,
+    false_negative_rates: np.ndarray,
+    attack_prevalence: float,
+) -> np.ndarray:
+    """Vectorised :func:`f_measure_from_rates` over arrays of operating points.
+
+    Element-for-element identical to the scalar version, including the
+    degenerate conventions (precision 1.0 when nothing is flagged, F-measure
+    0.0 when precision and recall are both zero).
+    """
+    require_probability(attack_prevalence, "attack_prevalence")
+    fp = np.asarray(false_positive_rates, dtype=float)
+    fn = np.asarray(false_negative_rates, dtype=float)
+    true_positives = attack_prevalence * (1.0 - fn)
+    false_negatives = attack_prevalence * fn
+    false_positives = (1.0 - attack_prevalence) * fp
+    flagged = true_positives + false_positives
+    actual = true_positives + false_negatives
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(flagged > 0, true_positives / flagged, 1.0)
+        recall = np.where(actual > 0, true_positives / actual, 1.0)
+        denominator = precision + recall
+        return np.where(denominator == 0.0, 0.0, 2.0 * precision * recall / denominator)

@@ -8,8 +8,8 @@ pre-selected; arbitrary combinations can be built directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.grouping import (
     GroupAssignment,

@@ -19,11 +19,11 @@ any grouping method.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.metrics import DEFAULT_UTILITY_WEIGHT, f_measure_from_rates, utility
+from repro.core.metrics import DEFAULT_UTILITY_WEIGHT, f_measure_from_rate_arrays
 from repro.stats.empirical import EmpiricalDistribution
 from repro.utils.validation import require, require_non_negative, require_probability
 
@@ -103,8 +103,8 @@ class MeanStdHeuristic(ThresholdHeuristic):
 
 def _candidate_thresholds(distribution: EmpiricalDistribution, num_candidates: int) -> np.ndarray:
     """Quantile grid of candidate thresholds spanning the distribution's range."""
-    quantiles = np.linspace(0.5, 1.0, num_candidates)
-    values = np.array([distribution.quantile(min(q, 1.0)) for q in quantiles])
+    quantiles = np.minimum(np.linspace(0.5, 1.0, num_candidates), 1.0)
+    values = distribution.percentiles(100.0 * quantiles)
     # Include a little headroom above the max so "never alarm" is a candidate.
     return np.unique(np.append(values, distribution.max() * 1.01 + 1.0))
 
@@ -118,6 +118,27 @@ def _rates_at(
         return false_positive, 0.0
     misses = [1.0 - distribution.shifted_exceedance(threshold, size) for size in attack_sizes]
     return false_positive, float(np.mean(misses))
+
+
+def _member_rate_matrices(
+    distributions: Sequence[EmpiricalDistribution],
+    candidates: np.ndarray,
+    attack_sizes: np.ndarray,
+) -> tuple:
+    """Vectorised :func:`_rates_at` over the whole candidate grid.
+
+    Returns ``(fp, fn)`` arrays of shape ``(num_candidates, num_members)``;
+    member values sit contiguously per candidate so row reductions match the
+    scalar loop's float summation order exactly.
+    """
+    fp = np.empty((candidates.size, len(distributions)))
+    fn = np.zeros((candidates.size, len(distributions)))
+    shifted = candidates[:, None] - attack_sizes[None, :] if attack_sizes.size else None
+    for member_index, member in enumerate(distributions):
+        fp[:, member_index] = member.exceedances(candidates)
+        if shifted is not None:
+            fn[:, member_index] = np.mean(1.0 - member.exceedances(shifted), axis=1)
+    return fp, fn
 
 
 @dataclass(frozen=True)
@@ -169,18 +190,10 @@ class UtilityHeuristic(ThresholdHeuristic):
         )
         candidates = _candidate_thresholds(pooled, self.num_candidates)
         sizes = np.asarray(self.attack_sizes, dtype=float)
-        best_threshold = float(candidates[0])
-        best_utility = -np.inf
-        for candidate in candidates:
-            member_utilities = []
-            for member in distributions:
-                false_positive, false_negative = _rates_at(member, float(candidate), sizes)
-                member_utilities.append(utility(false_negative, false_positive, self.weight))
-            value = float(np.mean(member_utilities))
-            if value > best_utility:
-                best_utility = value
-                best_threshold = float(candidate)
-        return best_threshold
+        false_positives, false_negatives = _member_rate_matrices(distributions, candidates, sizes)
+        utilities = 1.0 - (self.weight * false_negatives + (1.0 - self.weight) * false_positives)
+        mean_utilities = np.mean(utilities, axis=1)
+        return float(candidates[int(np.argmax(mean_utilities))])
 
 
 @dataclass(frozen=True)
@@ -224,17 +237,9 @@ class FMeasureHeuristic(ThresholdHeuristic):
         )
         candidates = _candidate_thresholds(pooled, self.num_candidates)
         sizes = np.asarray(self.attack_sizes, dtype=float)
-        best_threshold = float(candidates[0])
-        best_score = -np.inf
-        for candidate in candidates:
-            member_scores = []
-            for member in distributions:
-                false_positive, false_negative = _rates_at(member, float(candidate), sizes)
-                member_scores.append(
-                    f_measure_from_rates(false_positive, false_negative, self.attack_prevalence)
-                )
-            score = float(np.mean(member_scores))
-            if score > best_score:
-                best_score = score
-                best_threshold = float(candidate)
-        return best_threshold
+        false_positives, false_negatives = _member_rate_matrices(distributions, candidates, sizes)
+        scores = f_measure_from_rate_arrays(
+            false_positives, false_negatives, self.attack_prevalence
+        )
+        mean_scores = np.mean(scores, axis=1)
+        return float(candidates[int(np.argmax(mean_scores))])

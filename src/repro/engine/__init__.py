@@ -1,0 +1,48 @@
+"""Population engine: parallel generation plus on-disk caching.
+
+The engine subsystem decouples *how* enterprise populations are produced
+(vectorised per-host generation, process-pool fan-out, content-addressed
+caching) from *what* consumes them (experiments, benchmarks, examples).
+Everything goes through :class:`PopulationEngine`; determinism is absolute —
+the same :class:`~repro.workload.enterprise.EnterpriseConfig` yields
+bit-identical populations whether generated serially, in parallel, or loaded
+back from the cache.
+"""
+
+from repro.engine.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    PopulationCache,
+    population_cache_key,
+    resolve_cache_dir,
+)
+from repro.engine.engine import (
+    MAX_AUTO_WORKERS,
+    MIN_PARALLEL_HOSTS,
+    WORKERS_ENV,
+    GenerationReport,
+    PopulationEngine,
+    default_worker_count,
+)
+from repro.engine.serialization import (
+    POPULATION_FORMAT_VERSION,
+    read_population,
+    write_population,
+)
+
+__all__ = [
+    "PopulationEngine",
+    "GenerationReport",
+    "PopulationCache",
+    "population_cache_key",
+    "resolve_cache_dir",
+    "read_population",
+    "write_population",
+    "default_worker_count",
+    "POPULATION_FORMAT_VERSION",
+    "CACHE_DIR_ENV",
+    "WORKERS_ENV",
+    "MIN_PARALLEL_HOSTS",
+    "MAX_AUTO_WORKERS",
+    "DEFAULT_CACHE_DIR",
+]

@@ -1,0 +1,128 @@
+"""On-disk population cache keyed by a content hash of the configuration.
+
+Generating the paper-scale population is pure function of
+(:class:`~repro.workload.enterprise.EnterpriseConfig`, explicit role
+overrides), so a content hash of those inputs fully identifies the output.
+The cache stores one binary file per key (written atomically via a temporary
+file + rename) and treats any unreadable or stale-format file as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.engine.serialization import (
+    POPULATION_FORMAT_VERSION,
+    config_payload,
+    read_population,
+    write_population,
+)
+from repro.utils.validation import ValidationError
+from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation
+from repro.workload.profiles import UserRole
+
+#: Environment variable naming the cache directory (enables caching when set).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory used when caching is requested without a location.
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro" / "populations"
+
+PathLike = Union[str, Path]
+
+
+def population_cache_key(
+    config: EnterpriseConfig, roles: Optional[Mapping[int, UserRole]] = None
+) -> str:
+    """Content hash identifying the population generated from these inputs."""
+    payload = {
+        "format": POPULATION_FORMAT_VERSION,
+        "config": config_payload(config),
+        "roles": (
+            {str(host_id): role.value for host_id, role in sorted(roles.items())}
+            if roles
+            else None
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def resolve_cache_dir(cache_dir: Optional[PathLike] = None) -> Optional[Path]:
+    """The cache directory to use: explicit argument, else ``REPRO_CACHE_DIR``."""
+    if cache_dir is not None:
+        return Path(cache_dir)
+    from_env = os.environ.get(CACHE_DIR_ENV)
+    return Path(from_env) if from_env else None
+
+
+class PopulationCache:
+    """A directory of serialized populations addressed by content hash."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self._directory = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        """Root directory of the cache."""
+        return self._directory
+
+    def path_for(
+        self, config: EnterpriseConfig, roles: Optional[Mapping[int, UserRole]] = None
+    ) -> Path:
+        """The file a population with these inputs is stored at."""
+        key = population_cache_key(config, roles)
+        return self._directory / f"population-{key[:32]}.rpop"
+
+    def load(
+        self, config: EnterpriseConfig, roles: Optional[Mapping[int, UserRole]] = None
+    ) -> Optional[EnterprisePopulation]:
+        """Return the cached population, or None on a miss or unreadable file."""
+        path = self.path_for(config, roles)
+        if not path.is_file():
+            return None
+        try:
+            return read_population(path)
+        except (ValidationError, OSError, ValueError, KeyError):
+            # A corrupt or stale-format file is a miss; regeneration overwrites it.
+            return None
+
+    def store(
+        self,
+        population: EnterprisePopulation,
+        roles: Optional[Mapping[int, UserRole]] = None,
+    ) -> Optional[Path]:
+        """Atomically write ``population``; returns the cache file path.
+
+        An unwritable or full cache location must never discard a generated
+        population, so write failures emit a warning and return None (the
+        next run simply misses the cache), mirroring how :meth:`load` treats
+        unreadable files as misses.
+        """
+        path = self.path_for(population.config, roles)
+        temporary = path.with_suffix(f".tmp{os.getpid()}")
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            write_population(temporary, population)
+            os.replace(temporary, path)
+        except OSError as error:
+            warnings.warn(f"population cache write to {path} failed: {error}", stacklevel=2)
+            return None
+        finally:
+            if temporary.exists():
+                temporary.unlink()
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached population; returns the number removed."""
+        if not self._directory.is_dir():
+            return 0
+        removed = 0
+        for path in self._directory.glob("population-*.rpop"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,281 @@
+"""The parallel population engine.
+
+:class:`PopulationEngine` is the single entry point the rest of the stack
+uses to obtain an :class:`~repro.workload.enterprise.EnterprisePopulation`:
+
+* **Vectorised fast path** — each host's feature matrix is drawn with the
+  batched numpy operations in :class:`~repro.workload.generator.HostSeriesGenerator`.
+* **Process-pool fan-out** — hosts are split into chunks and generated on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Every per-host random
+  stream is derived from ``(config.seed, host_id)`` alone, so parallel output
+  is bit-identical to serial output regardless of worker count or scheduling.
+* **On-disk cache** — populations are stored under a content hash of the
+  configuration (see :mod:`repro.engine.cache`), so repeated experiment and
+  benchmark runs skip generation entirely.
+
+Environment overrides (picked up by :meth:`PopulationEngine.from_env`, which
+is what :func:`~repro.workload.enterprise.generate_enterprise` uses when no
+engine is passed):
+
+* ``REPRO_ENGINE_WORKERS`` — worker-process count (``1`` forces serial).
+* ``REPRO_CACHE_DIR`` — cache directory; setting it enables caching.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.cache import DEFAULT_CACHE_DIR, PopulationCache, resolve_cache_dir
+from repro.features.timeseries import FeatureMatrix
+from repro.utils.rng import RandomSource
+from repro.utils.validation import ValidationError, require
+from repro.workload.enterprise import (
+    EnterpriseConfig,
+    EnterprisePopulation,
+    build_population_events,
+    generate_host,
+)
+from repro.workload.profiles import HostProfile, UserRole
+
+#: Environment variable overriding the worker-process count.
+WORKERS_ENV = "REPRO_ENGINE_WORKERS"
+
+#: Populations smaller than this are generated serially even when the engine
+#: is configured with multiple workers — pool startup would dominate.
+MIN_PARALLEL_HOSTS = 64
+
+#: Upper bound on auto-detected workers (beyond this, chunk pickling and
+#: process startup outweigh the extra parallelism at paper scale).
+MAX_AUTO_WORKERS = 8
+
+
+def default_worker_count() -> int:
+    """Worker count used when none is configured: env override, else CPU count."""
+    from_env = os.environ.get(WORKERS_ENV)
+    if from_env:
+        try:
+            workers = int(from_env)
+        except ValueError:
+            raise ValidationError(f"{WORKERS_ENV} must be an integer, got {from_env!r}") from None
+        require(workers >= 1, f"{WORKERS_ENV} must be >= 1, got {workers}")
+        return workers
+    return min(os.cpu_count() or 1, MAX_AUTO_WORKERS)
+
+
+def _generate_host_chunk(
+    config: EnterpriseConfig,
+    host_ids: Sequence[int],
+    roles: Mapping[int, UserRole],
+) -> List[Tuple[int, HostProfile, FeatureMatrix]]:
+    """Worker entry point: generate a batch of hosts from scratch.
+
+    Reconstructs the population-level random source and event schedule from
+    the configuration, so the only state shipped to the worker is the config
+    and the host ids.
+    """
+    random_source = RandomSource(seed=config.seed, label="enterprise")
+    events = build_population_events(config)
+    results: List[Tuple[int, HostProfile, FeatureMatrix]] = []
+    for host_id in host_ids:
+        profile, matrix = generate_host(
+            config, host_id, random_source, events, role=roles.get(host_id)
+        )
+        results.append((host_id, profile, matrix))
+    return results
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    """What the engine did for the most recent :meth:`PopulationEngine.generate`."""
+
+    num_hosts: int
+    workers: int
+    duration_seconds: float
+    cache_hit: bool
+    cache_path: Optional[str] = None
+
+
+class PopulationEngine:
+    """Generates enterprise populations in parallel, with on-disk caching.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count.  ``1`` forces serial generation; ``None`` means
+        auto (``REPRO_ENGINE_WORKERS`` environment override, else the CPU
+        count capped at :data:`MAX_AUTO_WORKERS`).  Output is bit-identical
+        for every setting.
+    cache_dir:
+        Directory for the on-disk population cache.  ``None`` consults
+        ``REPRO_CACHE_DIR``; caching is disabled when neither is set (unless
+        ``use_cache=True`` explicitly requests the default location).
+    use_cache:
+        Force caching on or off; ``None`` enables it exactly when a cache
+        directory was resolved.
+    min_parallel_hosts:
+        Populations smaller than this generate serially regardless of the
+        worker count (the pool would cost more than it saves).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        use_cache: Optional[bool] = None,
+        min_parallel_hosts: int = MIN_PARALLEL_HOSTS,
+    ) -> None:
+        require(workers is None or workers >= 1, "workers must be >= 1")
+        require(min_parallel_hosts >= 1, "min_parallel_hosts must be >= 1")
+        self._workers = workers if workers is not None else default_worker_count()
+        self._min_parallel_hosts = min_parallel_hosts
+        resolved_dir = resolve_cache_dir(cache_dir)
+        if use_cache is None:
+            use_cache = resolved_dir is not None
+        if use_cache and resolved_dir is None:
+            resolved_dir = DEFAULT_CACHE_DIR
+        self._cache = PopulationCache(resolved_dir) if use_cache else None
+        self._last_report: Optional[GenerationReport] = None
+
+    @classmethod
+    def from_env(cls) -> "PopulationEngine":
+        """Engine configured purely from the environment.
+
+        With no ``REPRO_ENGINE_WORKERS`` / ``REPRO_CACHE_DIR`` set this
+        matches the historical ``generate_enterprise`` behaviour for test
+        populations (serial below :data:`MIN_PARALLEL_HOSTS`, no caching) —
+        and is still bit-identical above it.
+        """
+        return cls()
+
+    # ----------------------------------------------------------------- state
+    @property
+    def workers(self) -> int:
+        """Configured worker-process count."""
+        return self._workers
+
+    @property
+    def cache(self) -> Optional[PopulationCache]:
+        """The population cache, or None when caching is disabled."""
+        return self._cache
+
+    @property
+    def last_report(self) -> Optional[GenerationReport]:
+        """Report for the most recent :meth:`generate` call."""
+        return self._last_report
+
+    # ------------------------------------------------------------- generation
+    def generate(
+        self,
+        config: Optional[EnterpriseConfig] = None,
+        roles: Optional[Mapping[int, UserRole]] = None,
+    ) -> EnterprisePopulation:
+        """Return the population for ``config``, from cache when possible."""
+        config = config if config is not None else EnterpriseConfig()
+        started = time.perf_counter()
+
+        if self._cache is not None:
+            cached = self._cache.load(config, roles)
+            if cached is not None:
+                self._last_report = GenerationReport(
+                    num_hosts=len(cached),
+                    workers=0,
+                    duration_seconds=time.perf_counter() - started,
+                    cache_hit=True,
+                    cache_path=str(self._cache.path_for(config, roles)),
+                )
+                return cached
+
+        workers = self._effective_workers(config.num_hosts)
+        if workers > 1:
+            profiles, matrices, workers = self._generate_parallel(config, roles or {}, workers)
+        else:
+            profiles, matrices = self._generate_serial(config, roles or {})
+        population = EnterprisePopulation(config=config, profiles=profiles, matrices=matrices)
+
+        cache_path: Optional[str] = None
+        if self._cache is not None:
+            stored = self._cache.store(population, roles)
+            cache_path = str(stored) if stored is not None else None
+        self._last_report = GenerationReport(
+            num_hosts=len(population),
+            workers=workers,
+            duration_seconds=time.perf_counter() - started,
+            cache_hit=False,
+            cache_path=cache_path,
+        )
+        return population
+
+    def _effective_workers(self, num_hosts: int) -> int:
+        if num_hosts < self._min_parallel_hosts:
+            return 1
+        return min(self._workers, num_hosts)
+
+    def _generate_serial(
+        self, config: EnterpriseConfig, roles: Mapping[int, UserRole]
+    ) -> Tuple[Dict[int, HostProfile], Dict[int, FeatureMatrix]]:
+        results = _generate_host_chunk(config, range(config.num_hosts), roles)
+        return self._merge_results(results)
+
+    def _generate_parallel(
+        self,
+        config: EnterpriseConfig,
+        roles: Mapping[int, UserRole],
+        workers: int,
+    ) -> Tuple[Dict[int, HostProfile], Dict[int, FeatureMatrix], int]:
+        """Fan host chunks out across a process pool.
+
+        Returns the merged results plus the worker count actually used: any
+        pool failure (construction, spawning, a broken pool mid-flight — the
+        kinds of errors restricted environments raise) falls back to serial
+        generation, which is bit-identical anyway, and reports ``1``.
+        """
+        chunks = _chunk_host_ids(config.num_hosts, workers)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(_generate_host_chunk, config, chunk, dict(roles))
+                    for chunk in chunks
+                ]
+                results: List[Tuple[int, HostProfile, FeatureMatrix]] = []
+                for future in futures:
+                    results.extend(future.result())
+        except (OSError, BrokenProcessPool, AssertionError):
+            # OSError: no process spawning / shared memory; BrokenProcessPool:
+            # workers died without a result; AssertionError is what daemonic
+            # processes raise on child creation.  Worker-level generation
+            # errors (ValidationError etc.) propagate — retrying them
+            # serially would just raise the same error more slowly.
+            profiles, matrices = self._generate_serial(config, roles)
+            return profiles, matrices, 1
+        profiles, matrices = self._merge_results(results)
+        return profiles, matrices, workers
+
+    @staticmethod
+    def _merge_results(
+        results: Sequence[Tuple[int, HostProfile, FeatureMatrix]],
+    ) -> Tuple[Dict[int, HostProfile], Dict[int, FeatureMatrix]]:
+        profiles: Dict[int, HostProfile] = {}
+        matrices: Dict[int, FeatureMatrix] = {}
+        for host_id, profile, matrix in sorted(results, key=lambda item: item[0]):
+            profiles[host_id] = profile
+            matrices[host_id] = matrix
+        return profiles, matrices
+
+
+def _chunk_host_ids(num_hosts: int, workers: int) -> List[List[int]]:
+    """Split host ids into roughly even contiguous chunks, several per worker.
+
+    Over-splitting (4 chunks per worker) keeps the pool busy when some chunks
+    contain hosts that are more expensive to generate than others.
+    """
+    num_chunks = min(max(workers * 4, 1), num_hosts)
+    chunk_size = -(-num_hosts // num_chunks)
+    return [
+        list(range(start, min(start + chunk_size, num_hosts)))
+        for start in range(0, num_hosts, chunk_size)
+    ]

@@ -1,0 +1,177 @@
+"""Binary serialization of generated enterprise populations.
+
+Cached populations are stored in the same style as the packet/connection
+trace formats in :mod:`repro.traces.serialization`: a magic + version header
+followed by fixed-width little-endian records, with feature values written as
+raw float64 buffers.  The round trip is exact — loading a cached population
+yields bit-identical feature matrices — which is what lets experiment and
+benchmark runs skip generation entirely on a warm cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.features.definitions import PAPER_FEATURES, Feature
+from repro.features.timeseries import FeatureMatrix, TimeSeries
+from repro.traces.serialization import read_header, write_header
+from repro.utils.timeutils import BinSpec
+from repro.utils.validation import ValidationError, require
+from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation
+from repro.workload.profiles import FeatureIntensity, HostProfile, UserRole
+
+_POPULATION_MAGIC = b"RPOP"
+#: Bump whenever the on-disk layout or the generation process changes in a
+#: way that invalidates cached populations.
+POPULATION_FORMAT_VERSION = 1
+
+# host_id, role index, is_laptop, master_intensity
+_HOST_STRUCT = struct.Struct("<IBBd")
+# scale, body_sigma, burst_probability, burst_alpha
+_INTENSITY_STRUCT = struct.Struct("<dddd")
+# num_bins, bin_width, bin origin
+_MATRIX_STRUCT = struct.Struct("<Idd")
+
+_ROLE_ORDER = tuple(UserRole)
+_FEATURE_ORDER = PAPER_FEATURES
+
+PathLike = Union[str, Path]
+
+
+def config_payload(config: EnterpriseConfig) -> dict:
+    """JSON-ready mapping of every ``EnterpriseConfig`` field.
+
+    Derived via :func:`dataclasses.asdict` so newly added config fields are
+    automatically part of both the serialized header and the cache key — a
+    hand-maintained field list here would silently collide cache entries for
+    configs differing only in a forgotten field.
+    """
+    payload = dataclasses.asdict(config)
+    payload["maintenance_weeks"] = list(payload["maintenance_weeks"])
+    return payload
+
+
+def _config_to_json(config: EnterpriseConfig) -> bytes:
+    return json.dumps(config_payload(config), sort_keys=True).encode("utf-8")
+
+
+def _config_from_json(blob: bytes) -> EnterpriseConfig:
+    payload = json.loads(blob.decode("utf-8"))
+    payload["maintenance_weeks"] = tuple(payload["maintenance_weeks"])
+    return EnterpriseConfig(**payload)
+
+
+def write_population(path: PathLike, population: EnterprisePopulation) -> None:
+    """Write ``population`` (config, profiles, matrices) to ``path``."""
+    with open(path, "wb") as handle:
+        write_header(
+            handle, _POPULATION_MAGIC, len(population), version=POPULATION_FORMAT_VERSION
+        )
+        config_blob = _config_to_json(population.config)
+        handle.write(struct.pack("<I", len(config_blob)))
+        handle.write(config_blob)
+        for host_id in population.host_ids:
+            profile = population.profile(host_id)
+            matrix = population.matrix(host_id)
+            handle.write(
+                _HOST_STRUCT.pack(
+                    host_id,
+                    _ROLE_ORDER.index(profile.role),
+                    1 if profile.is_laptop else 0,
+                    profile.master_intensity,
+                )
+            )
+            handle.write(struct.pack("<B", len(profile.intensities)))
+            for feature, intensity in profile.intensities.items():
+                handle.write(struct.pack("<B", _FEATURE_ORDER.index(feature)))
+                handle.write(
+                    _INTENSITY_STRUCT.pack(
+                        intensity.scale,
+                        intensity.body_sigma,
+                        intensity.burst_probability,
+                        intensity.burst_alpha,
+                    )
+                )
+            handle.write(
+                _MATRIX_STRUCT.pack(matrix.num_bins, matrix.bin_width, _matrix_origin(matrix))
+            )
+            handle.write(struct.pack("<B", len(matrix.features)))
+            for feature in matrix.features:
+                handle.write(struct.pack("<B", _FEATURE_ORDER.index(feature)))
+                values = np.ascontiguousarray(matrix.series(feature).values, dtype="<f8")
+                handle.write(values.tobytes())
+
+
+def read_population(path: PathLike) -> EnterprisePopulation:
+    """Read a population written by :func:`write_population`."""
+    with open(path, "rb") as handle:
+        num_hosts = read_header(handle, _POPULATION_MAGIC, version=POPULATION_FORMAT_VERSION)
+        (config_length,) = struct.unpack("<I", _read_exact(handle, 4))
+        config = _config_from_json(_read_exact(handle, config_length))
+        profiles: Dict[int, HostProfile] = {}
+        matrices: Dict[int, FeatureMatrix] = {}
+        for _ in range(num_hosts):
+            host_id, role_index, is_laptop, master_intensity = _HOST_STRUCT.unpack(
+                _read_exact(handle, _HOST_STRUCT.size)
+            )
+            (num_intensities,) = struct.unpack("<B", _read_exact(handle, 1))
+            intensities: Dict[Feature, FeatureIntensity] = {}
+            for _ in range(num_intensities):
+                (feature_index,) = struct.unpack("<B", _read_exact(handle, 1))
+                scale, body_sigma, burst_probability, burst_alpha = _INTENSITY_STRUCT.unpack(
+                    _read_exact(handle, _INTENSITY_STRUCT.size)
+                )
+                intensities[_feature_at(feature_index)] = FeatureIntensity(
+                    scale=scale,
+                    body_sigma=body_sigma,
+                    burst_probability=burst_probability,
+                    burst_alpha=burst_alpha,
+                )
+            profiles[host_id] = HostProfile(
+                host_id=host_id,
+                role=_role_at(role_index),
+                master_intensity=master_intensity,
+                intensities=intensities,
+                is_laptop=bool(is_laptop),
+            )
+            num_bins, bin_width, origin = _MATRIX_STRUCT.unpack(
+                _read_exact(handle, _MATRIX_STRUCT.size)
+            )
+            bin_spec = BinSpec(width=bin_width, origin=origin)
+            (num_features,) = struct.unpack("<B", _read_exact(handle, 1))
+            series: Dict[Feature, TimeSeries] = {}
+            for _ in range(num_features):
+                (feature_index,) = struct.unpack("<B", _read_exact(handle, 1))
+                buffer = _read_exact(handle, num_bins * 8)
+                values = np.frombuffer(buffer, dtype="<f8").astype(float)
+                series[_feature_at(feature_index)] = TimeSeries(values, bin_spec)
+            matrices[host_id] = FeatureMatrix(host_id=host_id, series=series)
+    return EnterprisePopulation(config=config, profiles=profiles, matrices=matrices)
+
+
+def _matrix_origin(matrix: FeatureMatrix) -> float:
+    return matrix.series(matrix.features[0]).bin_spec.origin
+
+
+def _read_exact(handle, size: int) -> bytes:
+    chunk = handle.read(size)
+    require(len(chunk) == size, "truncated population cache file")
+    return chunk
+
+
+def _feature_at(index: int) -> Feature:
+    if not 0 <= index < len(_FEATURE_ORDER):
+        raise ValidationError(f"unknown feature index {index} in population cache")
+    return _FEATURE_ORDER[index]
+
+
+def _role_at(index: int) -> UserRole:
+    if not 0 <= index < len(_ROLE_ORDER):
+        raise ValidationError(f"unknown role index {index} in population cache")
+    return _ROLE_ORDER[index]

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.attacks.base import AttackTrace
 from repro.attacks.storm import StormZombieModel, generate_storm_trace
-from repro.core.evaluation import EvaluationProtocol, PolicyEvaluation, evaluate_policy_on_feature
+from repro.core.evaluation import EvaluationProtocol, evaluate_policy_on_feature
 from repro.core.policies import (
     ConfigurationPolicy,
     FullDiversityPolicy,
@@ -34,7 +34,6 @@ from repro.experiments.report import render_table
 from repro.features.definitions import Feature
 from repro.features.timeseries import FeatureMatrix
 from repro.utils.timeutils import WEEK
-from repro.utils.validation import require
 from repro.workload.enterprise import EnterprisePopulation
 
 

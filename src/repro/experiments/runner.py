@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.experiments.fig1_tail_diversity import TailDiversityResult, run_fig1
 from repro.experiments.fig2_feature_scatter import FeatureScatterResult, run_fig2
@@ -13,6 +13,9 @@ from repro.experiments.fig5_storm import StormReplayResult, run_fig5
 from repro.experiments.table2_best_users import BestUsersResult, run_table2
 from repro.experiments.table3_alarms import AlarmVolumeResult, run_table3
 from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation, generate_enterprise
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import PopulationEngine
 
 
 @dataclass(frozen=True)
@@ -45,15 +48,18 @@ class ExperimentSuiteResult:
 def run_all_experiments(
     population: Optional[EnterprisePopulation] = None,
     config: Optional[EnterpriseConfig] = None,
+    engine: Optional["PopulationEngine"] = None,
 ) -> ExperimentSuiteResult:
     """Run the full experiment suite.
 
     Pass an existing ``population`` to reuse generated traces, or a ``config``
     to generate a new population (defaults to the paper-scale configuration —
-    350 hosts, five weeks — which takes a few minutes).
+    350 hosts, five weeks).  An ``engine`` (see
+    :class:`repro.engine.PopulationEngine`) enables parallel generation and
+    population caching for repeated runs.
     """
     if population is None:
-        population = generate_enterprise(config)
+        population = generate_enterprise(config, engine=engine)
     return ExperimentSuiteResult(
         population=population,
         fig1=run_fig1(population),

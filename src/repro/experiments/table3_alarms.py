@@ -9,7 +9,7 @@ operations centre would have to triage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -23,7 +23,6 @@ from repro.core.policies import (
 from repro.core.thresholds import PercentileHeuristic, ThresholdHeuristic, UtilityHeuristic
 from repro.experiments.report import render_table
 from repro.features.definitions import Feature
-from repro.utils.validation import require
 from repro.workload.enterprise import EnterprisePopulation
 
 

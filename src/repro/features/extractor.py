@@ -11,7 +11,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.features.definitions import FEATURES, Feature, FeatureDefinition, PAPER_FEATURES
+from repro.features.definitions import FEATURES, Feature, PAPER_FEATURES
 from repro.features.timeseries import FeatureMatrix, TimeSeries
 from repro.traces.flow import ConnectionRecord
 from repro.utils.timeutils import BinSpec, MINUTE

@@ -9,7 +9,7 @@ streaming mode; its results are checked against the batch extractor in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.features.definitions import FEATURES, Feature, PAPER_FEATURES

@@ -9,15 +9,14 @@ empirical distributions for threshold computation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.features.definitions import Feature
 from repro.stats.empirical import EmpiricalDistribution
 from repro.utils.timeutils import BinSpec, WEEK
-from repro.utils.validation import require, require_positive
+from repro.utils.validation import require
 
 
 class TimeSeries:

@@ -131,6 +131,23 @@ class EmpiricalDistribution:
         """Return ``P(X > value)`` — the false-positive rate at threshold ``value``."""
         return 1.0 - self.cdf(value)
 
+    def cdfs(self, values) -> np.ndarray:
+        """Vectorised :meth:`cdf`: ``P(X <= v)`` for an array of values."""
+        self._require_samples()
+        counts = np.searchsorted(self._sorted, np.asarray(values, dtype=float), side="right")
+        return counts.astype(float) / self._sorted.size
+
+    def exceedances(self, values) -> np.ndarray:
+        """Vectorised :meth:`exceedance`: ``P(X > v)`` for an array of values."""
+        return 1.0 - self.cdfs(values)
+
+    def percentiles(self, qs) -> np.ndarray:
+        """Vectorised :meth:`percentile` for an array of ``q`` values in [0, 100]."""
+        values = np.asarray(qs, dtype=float)
+        require(bool(np.all((values >= 0.0) & (values <= 100.0))), "percentile q must be in [0, 100]")
+        self._require_samples()
+        return np.percentile(self._sorted, values)
+
     def survival_at_or_above(self, value: float) -> float:
         """Return ``P(X >= value)``."""
         self._require_samples()

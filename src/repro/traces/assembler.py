@@ -9,9 +9,9 @@ FIN / RST observations; UDP and ICMP flows are delimited by an idle timeout.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.traces.flow import ConnectionRecord, FiveTuple, FlowDirection, flow_key_of
 from repro.traces.packet import IPProtocol, Packet, TCPFlags

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.utils.validation import require
 
 
@@ -102,6 +104,32 @@ class CaptureSession:
         """Return the location at ``timestamp`` (OFFLINE when no segment covers it)."""
         environment = self.environment_at(timestamp)
         return environment.location if environment is not None else NetworkLocation.OFFLINE
+
+    def segment_indices(self, timestamps: Sequence[float]) -> np.ndarray:
+        """Vectorised segment lookup for an array of timestamps.
+
+        Returns, per timestamp, the index of the environment covering it, or
+        ``-1`` when the timestamp falls in a gap (offline).  Environments are
+        appended in time order, so a single ``searchsorted`` over the segment
+        start times replaces the per-timestamp linear scan.
+        """
+        times = np.asarray(timestamps, dtype=float)
+        if not self.environments:
+            return np.full(times.shape, -1, dtype=np.intp)
+        starts = np.array([env.start_time for env in self.environments])
+        ends = np.array([env.end_time for env in self.environments])
+        indices = np.searchsorted(starts, times, side="right") - 1
+        clipped = np.clip(indices, 0, starts.size - 1)
+        covered = (indices >= 0) & (times < ends[clipped])
+        return np.where(covered, clipped, -1)
+
+    def locations_at(self, timestamps: Sequence[float]) -> List[NetworkLocation]:
+        """Vectorised :meth:`location_at` for an array of timestamps."""
+        indices = self.segment_indices(timestamps)
+        locations = [env.location for env in self.environments]
+        return [
+            locations[index] if index >= 0 else NetworkLocation.OFFLINE for index in indices
+        ]
 
     def online_fraction(self) -> float:
         """Fraction of the session during which the host was not OFFLINE."""

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
 
 from repro.traces.packet import IPProtocol, Packet, int_to_ip
 from repro.utils.validation import require

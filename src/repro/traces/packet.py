@@ -8,7 +8,7 @@ and from dotted-quad strings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum, IntFlag
 
 from repro.utils.validation import require

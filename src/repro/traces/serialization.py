@@ -29,25 +29,31 @@ _CONNECTION_STRUCT = struct.Struct("<ddIIHHBBIIQB")
 PathLike = Union[str, Path]
 
 
-def _write_header(handle, magic: bytes, count: int) -> None:
+def write_header(handle, magic: bytes, count: int, version: int = _FORMAT_VERSION) -> None:
+    """Write a magic + version + record-count header.
+
+    Shared by every binary format in the repository (packet and connection
+    traces here, cached populations in :mod:`repro.engine.serialization`).
+    """
     handle.write(magic)
-    handle.write(struct.pack("<HI", _FORMAT_VERSION, count))
+    handle.write(struct.pack("<HI", version, count))
 
 
-def _read_header(handle, magic: bytes) -> int:
+def read_header(handle, magic: bytes, version: int = _FORMAT_VERSION) -> int:
+    """Validate a header written by :func:`write_header`; return the record count."""
     header = handle.read(len(magic) + 6)
     if len(header) != len(magic) + 6 or header[: len(magic)] != magic:
         raise ValidationError("not a valid trace file (bad magic)")
-    version, count = struct.unpack("<HI", header[len(magic):])
-    if version != _FORMAT_VERSION:
-        raise ValidationError(f"unsupported trace format version {version}")
+    file_version, count = struct.unpack("<HI", header[len(magic):])
+    if file_version != version:
+        raise ValidationError(f"unsupported trace format version {file_version}")
     return count
 
 
 def write_packets(path: PathLike, packets: List[Packet]) -> None:
     """Write a packet trace to ``path``."""
     with open(path, "wb") as handle:
-        _write_header(handle, _PACKET_MAGIC, len(packets))
+        write_header(handle, _PACKET_MAGIC, len(packets))
         for packet in packets:
             handle.write(
                 _PACKET_STRUCT.pack(
@@ -67,7 +73,7 @@ def read_packets(path: PathLike) -> List[Packet]:
     """Read a packet trace from ``path``."""
     packets: List[Packet] = []
     with open(path, "rb") as handle:
-        count = _read_header(handle, _PACKET_MAGIC)
+        count = read_header(handle, _PACKET_MAGIC)
         for _ in range(count):
             chunk = handle.read(_PACKET_STRUCT.size)
             require(len(chunk) == _PACKET_STRUCT.size, "truncated packet trace file")
@@ -92,7 +98,7 @@ def read_packets(path: PathLike) -> List[Packet]:
 def write_connections(path: PathLike, connections: List[ConnectionRecord]) -> None:
     """Write a connection-record trace to ``path``."""
     with open(path, "wb") as handle:
-        _write_header(handle, _CONNECTION_MAGIC, len(connections))
+        write_header(handle, _CONNECTION_MAGIC, len(connections))
         for record in connections:
             handle.write(
                 _CONNECTION_STRUCT.pack(
@@ -116,7 +122,7 @@ def read_connections(path: PathLike) -> List[ConnectionRecord]:
     """Read a connection-record trace from ``path``."""
     records: List[ConnectionRecord] = []
     with open(path, "rb") as handle:
-        count = _read_header(handle, _CONNECTION_MAGIC)
+        count = read_header(handle, _CONNECTION_MAGIC)
         for _ in range(count):
             chunk = handle.read(_CONNECTION_STRUCT.size)
             require(len(chunk) == _CONNECTION_STRUCT.size, "truncated connection trace file")

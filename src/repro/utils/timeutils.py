@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
+import numpy as np
+
 from repro.utils.validation import require, require_positive
 
 #: Number of seconds in one minute.
@@ -57,6 +59,11 @@ class BinSpec:
     def span(self, index: int) -> Tuple[float, float]:
         """Return the ``(start, end)`` interval covered by bin ``index``."""
         return self.start_of(index), self.end_of(index)
+
+    def starts(self, count: int) -> np.ndarray:
+        """Left edges of bins ``0..count-1`` as a vector (vectorised ``start_of``)."""
+        require(count >= 0, "count must be non-negative")
+        return self.origin + np.arange(count) * self.width
 
     def count_until(self, duration: float) -> int:
         """Number of complete bins that fit in ``duration`` seconds."""

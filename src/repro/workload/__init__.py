@@ -30,7 +30,13 @@ from repro.workload.profiles import (
 from repro.workload.diurnal import ActivityModel, DiurnalPattern
 from repro.workload.mobility import MobilityModel, generate_capture_session
 from repro.workload.generator import HostSeriesGenerator, HostTraceGenerator
-from repro.workload.enterprise import EnterprisePopulation, EnterpriseConfig, generate_enterprise
+from repro.workload.enterprise import (
+    EnterpriseConfig,
+    EnterprisePopulation,
+    build_population_events,
+    generate_enterprise,
+    generate_host,
+)
 from repro.workload.sessions import (
     ApplicationSession,
     BrowsingSessionModel,
@@ -54,6 +60,8 @@ __all__ = [
     "EnterpriseConfig",
     "EnterprisePopulation",
     "generate_enterprise",
+    "generate_host",
+    "build_population_events",
     "SessionModel",
     "ApplicationSession",
     "BrowsingSessionModel",

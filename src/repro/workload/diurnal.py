@@ -10,7 +10,7 @@ the expected per-bin count and never fully zero, because background chatter
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -50,6 +50,15 @@ class DiurnalPattern:
         hour_index = int((timestamp % DAY) // HOUR)
         hours = self.weekday_hours if day_index < 5 else self.weekend_hours
         return float(hours[hour_index])
+
+    def multipliers_at(self, timestamps: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`multiplier` for an array of timestamps."""
+        times = np.asarray(timestamps, dtype=float)
+        day_index = ((times % WEEK) // DAY).astype(np.intp)
+        hour_index = ((times % DAY) // HOUR).astype(np.intp)
+        weekday = np.asarray(self.weekday_hours, dtype=float)
+        weekend = np.asarray(self.weekend_hours, dtype=float)
+        return np.where(day_index < 5, weekday[hour_index], weekend[hour_index])
 
     def mean_multiplier(self) -> float:
         """Average multiplier over a full week."""
@@ -121,7 +130,7 @@ class ActivityModel:
     def multipliers(self, timestamps: Sequence[float], rng: np.random.Generator) -> np.ndarray:
         """Vectorised multipliers for many bin-start timestamps."""
         times = np.asarray(timestamps, dtype=float)
-        base = np.array([max(self.pattern.multiplier(t), self.floor) for t in times])
+        base = np.maximum(self.pattern.multipliers_at(times), self.floor)
         if self.jitter_sigma > 0:
             jitter = rng.lognormal(mean=0.0, sigma=self.jitter_sigma, size=times.size)
         else:

@@ -8,22 +8,25 @@ deterministic given the seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.features.definitions import Feature, PAPER_FEATURES
+from repro.features.definitions import Feature
 from repro.features.timeseries import FeatureMatrix
 from repro.stats.empirical import EmpiricalDistribution
 from repro.utils.rng import RandomSource
 from repro.utils.timeutils import BinSpec, MINUTE, WEEK
 from repro.utils.validation import require, require_positive
 from repro.workload.diurnal import ActivityModel, always_on_pattern, office_worker_pattern
-from repro.workload.events import build_maintenance_events
+from repro.workload.events import ScheduledEvent, build_maintenance_events
 from repro.workload.generator import HostSeriesGenerator
 from repro.workload.mobility import MobilityModel
 from repro.workload.profiles import HostProfile, UserRole, sample_host_profile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine import PopulationEngine
 
 
 @dataclass(frozen=True)
@@ -152,11 +155,69 @@ class EnterprisePopulation:
         return max(matrix.series(feature).max() for matrix in self._matrices.values())
 
 
+def build_population_events(config: EnterpriseConfig) -> List[ScheduledEvent]:
+    """The enterprise-wide maintenance schedule implied by ``config``."""
+    if not config.with_maintenance:
+        return []
+    return build_maintenance_events(config.num_weeks, config.maintenance_weeks)
+
+
+def generate_host(
+    config: EnterpriseConfig,
+    host_id: int,
+    random_source: Optional[RandomSource] = None,
+    events: Optional[Sequence[ScheduledEvent]] = None,
+    role: Optional[UserRole] = None,
+) -> Tuple[HostProfile, FeatureMatrix]:
+    """Generate one host's profile and feature matrix.
+
+    Every random stream is derived from ``(config.seed, host_id)`` via the
+    labelled :class:`RandomSource` hierarchy, so the output depends only on
+    the configuration and the host id — never on generation order.  This is
+    the property the parallel :class:`~repro.engine.PopulationEngine` relies
+    on to fan hosts out across worker processes while staying bit-identical
+    to serial generation.
+    """
+    if random_source is None:
+        random_source = RandomSource(seed=config.seed, label="enterprise")
+    if events is None:
+        events = build_population_events(config)
+    profile = sample_host_profile(
+        host_id=host_id,
+        random_source=random_source,
+        role=role,
+        master_log10_range=config.master_log10_range,
+        laptop_fraction=config.laptop_fraction,
+    )
+    pattern = (
+        always_on_pattern()
+        if profile.role == UserRole.SYSTEM_ADMINISTRATOR
+        else office_worker_pattern()
+    )
+    mobility = MobilityModel(is_laptop=profile.is_laptop) if config.with_mobility else None
+    generator = HostSeriesGenerator(
+        profile=profile,
+        activity=ActivityModel(pattern=pattern),
+        mobility=mobility,
+        bin_spec=BinSpec(width=config.bin_width),
+        week_drift_scale=config.week_drift_scale,
+        events=events,
+    )
+    return profile, generator.generate(config.duration, random_source)
+
+
 def generate_enterprise(
     config: Optional[EnterpriseConfig] = None,
     roles: Optional[Mapping[int, UserRole]] = None,
+    engine: Optional["PopulationEngine"] = None,
 ) -> EnterprisePopulation:
     """Generate the full synthetic enterprise population.
+
+    Generation is delegated to a :class:`~repro.engine.PopulationEngine`,
+    which can fan hosts out across worker processes and serve repeated
+    configurations from an on-disk cache.  The default engine (from
+    environment variables ``REPRO_ENGINE_WORKERS`` / ``REPRO_CACHE_DIR``)
+    preserves the historical behaviour: serial generation, no caching.
 
     Parameters
     ----------
@@ -166,44 +227,11 @@ def generate_enterprise(
     roles:
         Optional explicit role assignment per host id (hosts not listed get a
         sampled role).
+    engine:
+        Optional pre-configured engine (worker count, cache directory).
     """
-    config = config if config is not None else EnterpriseConfig()
-    random_source = RandomSource(seed=config.seed, label="enterprise")
-    bin_spec = BinSpec(width=config.bin_width)
-    events = (
-        build_maintenance_events(config.num_weeks, config.maintenance_weeks)
-        if config.with_maintenance
-        else []
-    )
+    from repro.engine import PopulationEngine
 
-    profiles: Dict[int, HostProfile] = {}
-    matrices: Dict[int, FeatureMatrix] = {}
-    for host_id in range(config.num_hosts):
-        fixed_role = roles.get(host_id) if roles else None
-        profile = sample_host_profile(
-            host_id=host_id,
-            random_source=random_source,
-            role=fixed_role,
-            master_log10_range=config.master_log10_range,
-            laptop_fraction=config.laptop_fraction,
-        )
-        pattern = (
-            always_on_pattern()
-            if profile.role == UserRole.SYSTEM_ADMINISTRATOR
-            else office_worker_pattern()
-        )
-        mobility = (
-            MobilityModel(is_laptop=profile.is_laptop) if config.with_mobility else None
-        )
-        generator = HostSeriesGenerator(
-            profile=profile,
-            activity=ActivityModel(pattern=pattern),
-            mobility=mobility,
-            bin_spec=bin_spec,
-            week_drift_scale=config.week_drift_scale,
-            events=events,
-        )
-        profiles[host_id] = profile
-        matrices[host_id] = generator.generate(config.duration, random_source)
-
-    return EnterprisePopulation(config=config, profiles=profiles, matrices=matrices)
+    if engine is None:
+        engine = PopulationEngine.from_env()
+    return engine.generate(config, roles=roles)

@@ -14,8 +14,8 @@ floods the IT console with more false alarms than the diversity policies
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 

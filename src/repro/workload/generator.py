@@ -7,6 +7,9 @@ Two generators share the same :class:`~repro.workload.profiles.HostProfile`,
   is the fast path used by the 350-host, 5-week experiments, and the place
   where the heavy-tailed per-bin model (lognormal body + Pareto bursts,
   scaled by the host's feature intensity and the activity multiplier) lives.
+  Every per-host quantity — bin grid, diurnal multipliers, mobility location
+  factors, per-feature counts — is drawn with batched numpy operations over
+  the whole bin grid; no per-bin Python loops remain on this path.
 * :class:`HostTraceGenerator` produces packet-level traces by scheduling
   application sessions, so the full assembly and extraction pipeline can be
   exercised end to end on smaller populations.
@@ -14,21 +17,23 @@ Two generators share the same :class:`~repro.workload.profiles.HostProfile`,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.features.definitions import Feature, PAPER_FEATURES
 from repro.features.timeseries import FeatureMatrix, TimeSeries
-from repro.traces.capture import CaptureSession, NetworkLocation
 from repro.traces.packet import Packet
 from repro.utils.rng import RandomSource
 from repro.utils.timeutils import BinSpec, MINUTE
 from repro.utils.validation import require, require_positive
 from repro.workload.diurnal import ActivityModel, office_worker_pattern
 from repro.workload.events import ScheduledEvent
-from repro.workload.mobility import LOCATION_ACTIVITY, MobilityModel, generate_capture_session
+from repro.workload.mobility import (
+    MobilityModel,
+    generate_capture_session,
+    location_activity_factors,
+)
 from repro.workload.profiles import HostProfile
 from repro.workload.sessions import (
     ApplicationSession,
@@ -102,7 +107,7 @@ class HostSeriesGenerator:
         host_id = self._profile.host_id
         rng = random_source.child("series", host_id).generator
         num_bins = max(self._bin_spec.count_until(duration), 1)
-        bin_starts = np.array([self._bin_spec.start_of(index) for index in range(num_bins)])
+        bin_starts = self._bin_spec.starts(num_bins)
 
         # Activity multiplier per bin = diurnal pattern x location factor x
         # per-week drift (week-to-week non-stationarity of the user).
@@ -169,9 +174,7 @@ class HostSeriesGenerator:
             random_source=random_source,
             model=self._mobility,
         )
-        return np.array(
-            [LOCATION_ACTIVITY[session.location_at(start)] for start in bin_starts]
-        )
+        return location_activity_factors(session, bin_starts)
 
     def _feature_counts(
         self, feature: Feature, per_bin_activity: np.ndarray, rng: np.random.Generator

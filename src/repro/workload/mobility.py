@@ -9,14 +9,14 @@ different activity multiplier than office segments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
 from repro.traces.capture import CaptureEnvironment, CaptureSession, NetworkLocation
 from repro.utils.rng import RandomSource
-from repro.utils.timeutils import DAY, HOUR, WEEK
-from repro.utils.validation import require, require_in_range, require_positive
+from repro.utils.timeutils import DAY, HOUR
+from repro.utils.validation import require_in_range, require_positive
 
 
 #: Activity multiplier applied on top of the diurnal pattern per location.
@@ -27,6 +27,20 @@ LOCATION_ACTIVITY: Dict[NetworkLocation, float] = {
     NetworkLocation.TRAVEL: 0.35,
     NetworkLocation.OFFLINE: 0.0,
 }
+
+
+def location_activity_factors(session: CaptureSession, timestamps) -> np.ndarray:
+    """Vectorised ``LOCATION_ACTIVITY[session.location_at(t)]`` per timestamp.
+
+    One segment lookup over the whole bin grid replaces the per-bin linear
+    scan through the session's environments; gaps map to the OFFLINE factor.
+    """
+    indices = session.segment_indices(timestamps)
+    # Trailing 0.0 so a gap index of -1 resolves to the OFFLINE factor.
+    factors = np.array(
+        [LOCATION_ACTIVITY[env.location] for env in session.environments] + [0.0]
+    )
+    return factors[indices]
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ where the heaviest TCP users are not the heaviest UDP users.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Mapping, Optional
 

@@ -12,7 +12,7 @@ from repro.attacks.injection import inject_attack, inject_population, overlay_at
 from repro.attacks.mimicry import MimicryAttacker, hidden_traffic_by_host
 from repro.attacks.naive import NaiveAttacker, attack_size_sweep, constant_rate_attack
 from repro.attacks.primitives import DDoSFloodModel, PortScanModel, SpamCampaignModel
-from repro.attacks.storm import StormZombieModel, generate_storm_trace
+from repro.attacks.storm import generate_storm_trace
 from repro.features.definitions import Feature
 from repro.features.timeseries import FeatureMatrix, TimeSeries
 from repro.utils.timeutils import BinSpec, MINUTE, WEEK

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.attacks.base import uniform_injection
 from repro.attacks.naive import NaiveAttacker
 from repro.core.console import CentralConsole
 from repro.core.detector import ThresholdDetector

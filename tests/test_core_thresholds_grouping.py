@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.grouping import (
     GroupAssignment,
@@ -129,6 +129,7 @@ class TestGrouping:
         assert sum(assignment.group_sizes()) == 100
         # The heavy-side groups contain the hosts with the largest statistics.
         heavy_hosts = set(assignment.groups[-1]) | set(assignment.groups[-2])
+        assert all(statistics[h] > 80 for h in heavy_hosts)
         assert all(statistics[h] > 80 for h in assignment.groups[-1])
 
     def test_quantile_split_small_population(self):

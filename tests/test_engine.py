@@ -1,0 +1,144 @@
+"""Tests for the population engine: determinism, caching, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    PopulationCache,
+    PopulationEngine,
+    population_cache_key,
+    read_population,
+    write_population,
+)
+from repro.engine.engine import _chunk_host_ids
+from repro.features.definitions import PAPER_FEATURES
+from repro.workload.enterprise import EnterpriseConfig, generate_enterprise
+from repro.workload.profiles import UserRole
+
+CONFIG = EnterpriseConfig(num_hosts=70, num_weeks=2, seed=424)
+
+
+def assert_populations_identical(left, right):
+    """Bit-exact equality of two populations (profiles and matrices)."""
+    assert left.host_ids == right.host_ids
+    assert left.config == right.config
+    for host_id in left.host_ids:
+        assert left.profile(host_id) == right.profile(host_id)
+        left_matrix, right_matrix = left.matrix(host_id), right.matrix(host_id)
+        assert left_matrix.features == right_matrix.features
+        for feature in left_matrix.features:
+            np.testing.assert_array_equal(
+                left_matrix.series(feature).values, right_matrix.series(feature).values
+            )
+
+
+class TestParallelDeterminism:
+    def test_parallel_output_bit_identical_to_serial(self):
+        serial = PopulationEngine(workers=1).generate(CONFIG)
+        parallel = PopulationEngine(workers=3, min_parallel_hosts=1).generate(CONFIG)
+        assert_populations_identical(serial, parallel)
+
+    def test_worker_count_does_not_change_output(self):
+        two = PopulationEngine(workers=2, min_parallel_hosts=1).generate(CONFIG)
+        five = PopulationEngine(workers=5, min_parallel_hosts=1).generate(CONFIG)
+        assert_populations_identical(two, five)
+
+    def test_engine_matches_generate_enterprise(self):
+        via_engine = PopulationEngine(workers=1).generate(CONFIG)
+        via_function = generate_enterprise(CONFIG)
+        assert_populations_identical(via_engine, via_function)
+
+    def test_small_population_stays_serial(self):
+        engine = PopulationEngine(workers=4)
+        engine.generate(EnterpriseConfig(num_hosts=8, num_weeks=2, seed=1))
+        assert engine.last_report.workers == 1
+
+    def test_role_overrides_apply_in_parallel(self):
+        roles = {0: UserRole.SYSTEM_ADMINISTRATOR, 5: UserRole.SALES_MOBILE}
+        population = PopulationEngine(workers=2, min_parallel_hosts=1).generate(
+            CONFIG, roles=roles
+        )
+        assert population.profile(0).role == UserRole.SYSTEM_ADMINISTRATOR
+        assert population.profile(5).role == UserRole.SALES_MOBILE
+
+    def test_chunking_covers_every_host_once(self):
+        for num_hosts, workers in [(1, 4), (7, 2), (350, 8), (64, 64)]:
+            chunks = _chunk_host_ids(num_hosts, workers)
+            flattened = [host for chunk in chunks for host in chunk]
+            assert sorted(flattened) == list(range(num_hosts))
+
+
+class TestCache:
+    def test_cache_round_trip_is_exact(self, tmp_path):
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path)
+        cold = engine.generate(CONFIG)
+        assert engine.last_report.cache_hit is False
+        warm = engine.generate(CONFIG)
+        assert engine.last_report.cache_hit is True
+        assert_populations_identical(cold, warm)
+
+    def test_warm_cache_skips_generation(self, tmp_path, monkeypatch):
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path)
+        engine.generate(CONFIG)
+
+        def fail(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("generation ran despite a warm cache")
+
+        import repro.engine.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "_generate_host_chunk", fail)
+        warm = engine.generate(CONFIG)
+        assert engine.last_report.cache_hit is True
+        assert len(warm) == CONFIG.num_hosts
+
+    def test_cache_key_distinguishes_configs(self):
+        base = population_cache_key(CONFIG)
+        assert population_cache_key(EnterpriseConfig(num_hosts=70, num_weeks=2, seed=425)) != base
+        assert population_cache_key(EnterpriseConfig(num_hosts=71, num_weeks=2, seed=424)) != base
+        assert population_cache_key(CONFIG, roles={0: UserRole.RESEARCHER}) != base
+        assert population_cache_key(EnterpriseConfig(num_hosts=70, num_weeks=2, seed=424)) == base
+
+    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+        cache = PopulationCache(tmp_path)
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path)
+        population = engine.generate(CONFIG)
+        cache.path_for(CONFIG).write_bytes(b"garbage")
+        assert cache.load(CONFIG) is None
+        regenerated = engine.generate(CONFIG)
+        assert engine.last_report.cache_hit is False
+        assert_populations_identical(population, regenerated)
+
+    def test_clear_removes_cached_populations(self, tmp_path):
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path)
+        engine.generate(CONFIG)
+        assert engine.cache.clear() == 1
+        assert engine.cache.load(CONFIG) is None
+
+    def test_uncached_engine_has_no_cache(self):
+        assert PopulationEngine(workers=1).cache is None
+
+
+class TestSerialization:
+    def test_write_read_round_trip(self, tmp_path):
+        population = PopulationEngine(workers=1).generate(
+            EnterpriseConfig(num_hosts=12, num_weeks=2, seed=77)
+        )
+        path = tmp_path / "population.rpop"
+        write_population(path, population)
+        loaded = read_population(path)
+        assert_populations_identical(population, loaded)
+        for host_id in population.host_ids:
+            for feature in PAPER_FEATURES:
+                original = population.matrix(host_id).series(feature).values
+                restored = loaded.matrix(host_id).series(feature).values
+                assert original.dtype == restored.dtype
+
+    def test_bad_magic_rejected(self, tmp_path):
+        from repro.utils.validation import ValidationError
+
+        path = tmp_path / "bad.rpop"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValidationError):
+            read_population(path)

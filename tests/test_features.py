@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.features.definitions import FEATURES, Feature, PAPER_FEATURES, feature_by_name
-from repro.features.extractor import FeatureExtractor, extract_feature_matrix
+from repro.features.extractor import extract_feature_matrix
 from repro.features.streaming import StreamingFeatureCounter
 from repro.features.timeseries import FeatureMatrix, TimeSeries
 from repro.traces.flow import ConnectionRecord, flow_key_of

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.stats.empirical import EmpiricalDistribution, ecdf, percentile_of_score
 from repro.stats.histogram import Histogram, LogHistogram, histogram_from_samples

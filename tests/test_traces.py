@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.traces.assembler import ConnectionAssembler, assemble_connections
 from repro.traces.capture import CaptureEnvironment, CaptureSession, NetworkLocation
-from repro.traces.flow import ConnectionRecord, FiveTuple, FlowDirection, flow_key_of
+from repro.traces.flow import ConnectionRecord, FlowDirection, flow_key_of
 from repro.traces.packet import (
     IPProtocol,
     Packet,
@@ -209,6 +208,18 @@ class TestCaptureSession:
         assert session.location_at(120.0) == NetworkLocation.OFFLINE
         assert session.location_at(175.0) == NetworkLocation.HOME
         assert session.location_at(500.0) == NetworkLocation.OFFLINE
+
+    def test_vectorised_location_lookup_matches_scalar(self):
+        session = self._session()
+        # Boundaries, gap interiors, and out-of-range timestamps alike.
+        timestamps = [0.0, 50.0, 99.999, 100.0, 120.0, 150.0, 175.0, 199.999, 200.0, 500.0]
+        assert session.locations_at(timestamps) == [
+            session.location_at(t) for t in timestamps
+        ]
+
+    def test_vectorised_location_lookup_empty_session(self):
+        session = CaptureSession(host_id=2)
+        assert session.locations_at([0.0, 10.0]) == [NetworkLocation.OFFLINE] * 2
 
     def test_online_fraction(self):
         session = self._session()
