@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the sweep runner: campaign-level throughput.
+
+Single-population generation speed is covered by the workload benchmarks;
+this file tracks how fast the *campaign* layer turns scenario specs into
+stored results — the number later PRs must not regress as sweeps grow.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CACHE_DIR, run_once
+from repro.engine import PopulationEngine
+from repro.sweeps import ResultStore, SweepRunner, SweepSpec
+
+#: Campaign benchmark scale: 100 hosts, the policy x attack grid.
+SWEEP_HOSTS = 100
+
+_BENCH_SWEEP = {
+    "sweep": {"name": "bench-grid", "mode": "grid"},
+    "scenario": {
+        "name": "bench-base",
+        "population": {"num_hosts": SWEEP_HOSTS, "num_weeks": 2, "seed": 2009},
+        "attack": {"kind": "naive", "size": 80.0},
+    },
+    "axes": {
+        "policy.kind": ["homogeneous", "full-diversity", "partial-diversity"],
+        "attack.size": [40.0, 160.0],
+    },
+}
+
+
+def test_bench_sweep_runner_throughput(benchmark, tmp_path):
+    """Scenarios/second through the full runner at 100 hosts (warm cache).
+
+    The population is primed into the shared benchmark cache first, so the
+    measured time is campaign overhead + evaluation — the sweep subsystem's
+    own cost, not generation.
+    """
+    sweep = SweepSpec.from_dict(_BENCH_SWEEP)
+    engine = PopulationEngine(cache_dir=BENCH_CACHE_DIR)
+    engine.generate(sweep.expand()[0].population.to_config())  # prime the cache
+
+    store = ResultStore(tmp_path / "bench.jsonl")
+    runner = SweepRunner(engine=engine, workers=1)
+    run = run_once(benchmark, runner.run, sweep, store=store)
+
+    assert len(run.results) == 6
+    assert run.populations_generated == 0  # everything came from the cache
+    assert len(store.records()) == 6
+    benchmark.extra_info["scenarios"] = len(run.results)
+    benchmark.extra_info["scenarios_per_second"] = round(run.scenarios_per_second, 3)
+
+
+def test_bench_sweep_expansion(benchmark):
+    """Pure spec-layer speed: expanding a 24-scenario grid (no evaluation)."""
+    sweep = SweepSpec.from_dict(
+        {
+            "sweep": {"name": "bench-expand", "mode": "grid"},
+            "scenario": {"population": {"num_hosts": 10, "num_weeks": 2}},
+            "axes": {
+                "policy.kind": ["homogeneous", "full-diversity", "partial-diversity"],
+                "attack.size": [10.0, 20.0, 40.0, 80.0],
+                "policy.heuristic": ["percentile", "utility"],
+            },
+        }
+    )
+    scenarios = benchmark(sweep.expand)
+    assert len(scenarios) == 24

@@ -11,9 +11,14 @@ compares three campaigns:
 * the same resourceful campaign against each policy's thresholds, showing how
   diversity shrinks the attacker's total budget.
 
+Generation goes through the population engine: ``--workers`` fans hosts out
+across processes (bit-identical to serial) and ``--cache-dir`` reuses
+generated populations across runs.
+
 Usage::
 
     python examples/attacker_evasion_study.py [--hosts 80]
+        [--workers N] [--cache-dir DIR] [--no-cache]
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro import Feature, quick_population
 from repro.attacks.botnet import Botnet
 from repro.core.evaluation import training_distributions
 from repro.core.policies import FullDiversityPolicy, HomogeneousPolicy, PartialDiversityPolicy
+from repro.engine import PopulationEngine
 from repro.experiments.report import render_table
 
 
@@ -32,10 +38,29 @@ def main() -> None:
     parser.add_argument("--hosts", type=int, default=80, help="number of end hosts")
     parser.add_argument("--seed", type=int, default=11, help="workload generation seed")
     parser.add_argument("--evasion", type=float, default=0.9, help="attacker's target evasion probability")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for generation (default: auto; 1 forces serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="population cache directory (default: $REPRO_CACHE_DIR when set)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk population cache"
+    )
     args = parser.parse_args()
 
+    engine = PopulationEngine.from_flags(
+        workers=args.workers, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
     feature = Feature.TCP_CONNECTIONS
-    population = quick_population(num_hosts=args.hosts, num_weeks=2, seed=args.seed)
+    population = quick_population(
+        num_hosts=args.hosts, num_weeks=2, seed=args.seed, engine=engine
+    )
     matrices = {host: matrix.week(1) for host, matrix in population.matrices().items()}
     train = training_distributions(population.matrices(), feature, week=0)
 

@@ -51,13 +51,8 @@ def main() -> None:
     else:
         config = EnterpriseConfig(num_hosts=args.hosts, num_weeks=args.weeks, seed=args.seed)
 
-    engine = PopulationEngine(
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        use_cache=False if args.no_cache else None,
-        # An explicit --workers request overrides the small-population
-        # serial heuristic; the output is bit-identical either way.
-        **({"min_parallel_hosts": 1} if args.workers is not None else {}),
+    engine = PopulationEngine.from_flags(
+        workers=args.workers, cache_dir=args.cache_dir, no_cache=args.no_cache
     )
 
     start = time.time()

@@ -7,9 +7,14 @@ console, bracketed by the monoculture (1 group) and full diversity (one group
 per host).  The paper's finding: around 8 groups captures most of the benefit
 of full diversity, so IT keeps a manageable number of configurations.
 
+Generation goes through the population engine: ``--workers`` fans hosts out
+across processes (bit-identical to serial) and ``--cache-dir`` reuses
+generated populations across runs.
+
 Usage::
 
     python examples/partial_diversity_tuning.py [--hosts 80]
+        [--workers N] [--cache-dir DIR] [--no-cache]
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro import Feature, quick_population
 from repro.attacks.naive import NaiveAttacker
 from repro.core.evaluation import EvaluationProtocol, evaluate_policy_on_feature
 from repro.core.policies import FullDiversityPolicy, HomogeneousPolicy, PartialDiversityPolicy
+from repro.engine import PopulationEngine
 from repro.experiments.report import render_table
 
 
@@ -30,10 +36,29 @@ def main() -> None:
     parser.add_argument("--hosts", type=int, default=80, help="number of end hosts")
     parser.add_argument("--seed", type=int, default=21, help="workload generation seed")
     parser.add_argument("--attack-size", type=float, default=80.0, help="injected connections per window")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for generation (default: auto; 1 forces serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="population cache directory (default: $REPRO_CACHE_DIR when set)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk population cache"
+    )
     args = parser.parse_args()
 
+    engine = PopulationEngine.from_flags(
+        workers=args.workers, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
     feature = Feature.TCP_CONNECTIONS
-    population = quick_population(num_hosts=args.hosts, num_weeks=2, seed=args.seed)
+    population = quick_population(
+        num_hosts=args.hosts, num_weeks=2, seed=args.seed, engine=engine
+    )
     matrices = population.matrices()
     protocol = EvaluationProtocol(feature=feature)
 

@@ -18,6 +18,8 @@ The package is organised as:
 * :mod:`repro.attacks` — naive / mimicry attackers, scan / DDoS / spam
   primitives, the Storm zombie model and attack overlay machinery.
 * :mod:`repro.experiments` — one driver per paper figure/table.
+* :mod:`repro.sweeps` — declarative scenario/sweep specs, the parallel sweep
+  runner, the JSONL result store and the ``repro`` CLI.
 
 Quickstart::
 
@@ -46,8 +48,9 @@ from repro.core.thresholds import (
     PercentileHeuristic,
     UtilityHeuristic,
 )
-from repro.engine import GenerationReport, PopulationCache, PopulationEngine
+from repro.engine import EngineStats, GenerationReport, PopulationCache, PopulationEngine
 from repro.features.definitions import Feature, PAPER_FEATURES
+from repro.sweeps import ResultStore, ScenarioSpec, SweepRunner, SweepSpec
 from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation, generate_enterprise
 
 __version__ = "1.0.0"
@@ -62,6 +65,11 @@ __all__ = [
     "PopulationEngine",
     "PopulationCache",
     "GenerationReport",
+    "EngineStats",
+    "ScenarioSpec",
+    "SweepSpec",
+    "SweepRunner",
+    "ResultStore",
     "ConfigurationPolicy",
     "HomogeneousPolicy",
     "FullDiversityPolicy",

@@ -9,7 +9,9 @@ policies side by side under identical conditions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.core.evaluation import (
     AttackBuilder,
@@ -17,6 +19,7 @@ from repro.core.evaluation import (
     PolicyEvaluation,
     evaluate_policy_on_feature,
 )
+from repro.core.metrics import f_measure_from_rates
 from repro.core.policies import (
     ConfigurationPolicy,
     FullDiversityPolicy,
@@ -85,6 +88,110 @@ def standard_policies(
         FullDiversityPolicy(heuristic),
         PartialDiversityPolicy(heuristic, num_groups=partial_groups),
     ]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Scalar summary of one policy/attack/population evaluation.
+
+    This is the record shape the sweep machinery stores and compares: every
+    field is a plain number (or string), so outcomes serialise to JSON and
+    aggregate across arbitrarily many scenarios.
+    """
+
+    policy_name: str
+    feature: str
+    num_hosts: int
+    mean_utility: float
+    median_utility: float
+    mean_false_positive_rate: float
+    mean_false_negative_rate: float
+    mean_detection_rate: float
+    mean_f_measure: float
+    total_false_alarms: int
+    fraction_raising_alarm: float
+    distinct_thresholds: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping of every metric."""
+        return {
+            "policy_name": self.policy_name,
+            "feature": self.feature,
+            "num_hosts": self.num_hosts,
+            "mean_utility": self.mean_utility,
+            "median_utility": self.median_utility,
+            "mean_false_positive_rate": self.mean_false_positive_rate,
+            "mean_false_negative_rate": self.mean_false_negative_rate,
+            "mean_detection_rate": self.mean_detection_rate,
+            "mean_f_measure": self.mean_f_measure,
+            "total_false_alarms": self.total_false_alarms,
+            "fraction_raising_alarm": self.fraction_raising_alarm,
+            "distinct_thresholds": self.distinct_thresholds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output."""
+        return cls(**{key: data[key] for key in cls.__dataclass_fields__})
+
+
+def summarize_scenario(
+    evaluation: PolicyEvaluation, attack_prevalence: float = 0.01
+) -> ScenarioOutcome:
+    """Condense a :class:`PolicyEvaluation` into a :class:`ScenarioOutcome`.
+
+    ``attack_prevalence`` (the assumed fraction of bins carrying attack
+    traffic) converts each host's (FP, FN) operating point into an F-measure;
+    the paper's other aggregates (mean/median utility, alarm volume, fraction
+    of hosts raising an alarm, distinct threshold count) come straight from
+    the evaluation.
+    """
+    performances = evaluation.performances.values()
+    weight = evaluation.protocol.utility_weight
+    utilities = np.array([perf.utility(weight) for perf in performances])
+    f_measures = [
+        f_measure_from_rates(
+            perf.false_positive_rate, perf.false_negative_rate, attack_prevalence
+        )
+        for perf in performances
+    ]
+    return ScenarioOutcome(
+        policy_name=evaluation.policy_name,
+        feature=evaluation.protocol.feature.value,
+        num_hosts=len(evaluation.performances),
+        mean_utility=float(np.mean(utilities)),
+        median_utility=float(np.median(utilities)),
+        mean_false_positive_rate=float(
+            np.mean([perf.false_positive_rate for perf in performances])
+        ),
+        mean_false_negative_rate=float(
+            np.mean([perf.false_negative_rate for perf in performances])
+        ),
+        mean_detection_rate=float(np.mean([perf.detection_rate for perf in performances])),
+        mean_f_measure=float(np.mean(f_measures)),
+        total_false_alarms=evaluation.total_false_alarms(),
+        fraction_raising_alarm=evaluation.fraction_raising_alarm(),
+        distinct_thresholds=evaluation.assignment.distinct_threshold_count(),
+    )
+
+
+def evaluate_scenario(
+    population: EnterprisePopulation,
+    policy: "ConfigurationPolicy",
+    protocol: EvaluationProtocol,
+    attack_builder: Optional[AttackBuilder] = None,
+    attack_prevalence: float = 0.01,
+) -> ScenarioOutcome:
+    """Evaluate one policy on one population and return the scalar summary.
+
+    This is the scenario-parameterised entry point the sweep runner (and any
+    campaign driver) builds on: population in, one JSON-ready row of metrics
+    out.
+    """
+    evaluation = evaluate_policy_on_feature(
+        population.matrices(), policy, protocol, attack_builder=attack_builder
+    )
+    return summarize_scenario(evaluation, attack_prevalence=attack_prevalence)
 
 
 class PolicyComparison:

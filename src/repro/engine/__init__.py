@@ -20,6 +20,7 @@ from repro.engine.engine import (
     MAX_AUTO_WORKERS,
     MIN_PARALLEL_HOSTS,
     WORKERS_ENV,
+    EngineStats,
     GenerationReport,
     PopulationEngine,
     default_worker_count,
@@ -33,6 +34,7 @@ from repro.engine.serialization import (
 __all__ = [
     "PopulationEngine",
     "GenerationReport",
+    "EngineStats",
     "PopulationCache",
     "population_cache_key",
     "resolve_cache_dir",

@@ -53,18 +53,23 @@ def population_cache_key(
 
 
 def resolve_cache_dir(cache_dir: Optional[PathLike] = None) -> Optional[Path]:
-    """The cache directory to use: explicit argument, else ``REPRO_CACHE_DIR``."""
+    """The cache directory to use: explicit argument, else ``REPRO_CACHE_DIR``.
+
+    ``~`` is expanded in both, so ``cache_dir="~/.cache/repro/populations"``
+    (the README example) and a tilde in the environment variable land in the
+    home directory instead of creating a literal ``~`` directory.
+    """
     if cache_dir is not None:
-        return Path(cache_dir)
+        return Path(cache_dir).expanduser()
     from_env = os.environ.get(CACHE_DIR_ENV)
-    return Path(from_env) if from_env else None
+    return Path(from_env).expanduser() if from_env else None
 
 
 class PopulationCache:
     """A directory of serialized populations addressed by content hash."""
 
     def __init__(self, directory: PathLike) -> None:
-        self._directory = Path(directory)
+        self._directory = Path(directory).expanduser()
 
     @property
     def directory(self) -> Path:

@@ -27,7 +27,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, PopulationCache, resolve_cache_dir
@@ -100,6 +100,25 @@ class GenerationReport:
     cache_path: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class EngineStats:
+    """Cumulative generation accounting over an engine's lifetime.
+
+    ``generations`` counts populations actually generated from scratch;
+    ``cache_hits`` counts populations served from the on-disk cache.  Sweep
+    campaigns use these to verify that scenarios sharing a population
+    configuration triggered exactly one generation.
+    """
+
+    generations: int = 0
+    cache_hits: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total :meth:`PopulationEngine.generate` calls."""
+        return self.generations + self.cache_hits
+
+
 class PopulationEngine:
     """Generates enterprise populations in parallel, with on-disk caching.
 
@@ -140,6 +159,7 @@ class PopulationEngine:
             resolved_dir = DEFAULT_CACHE_DIR
         self._cache = PopulationCache(resolved_dir) if use_cache else None
         self._last_report: Optional[GenerationReport] = None
+        self._stats = EngineStats()
 
     @classmethod
     def from_env(cls) -> "PopulationEngine":
@@ -151,6 +171,28 @@ class PopulationEngine:
         and is still bit-identical above it.
         """
         return cls()
+
+    @classmethod
+    def from_flags(
+        cls,
+        workers: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        no_cache: bool = False,
+    ) -> "PopulationEngine":
+        """Engine from the canonical ``--workers/--cache-dir/--no-cache`` flags.
+
+        The one construction rule every command-line surface (the ``repro``
+        CLI and the examples) shares: an explicit ``--workers`` request
+        overrides the small-population serial heuristic (the output is
+        bit-identical either way), and ``--no-cache`` wins over any cache
+        directory or environment default.
+        """
+        return cls(
+            workers=workers,
+            cache_dir=cache_dir,
+            use_cache=False if no_cache else None,
+            **({"min_parallel_hosts": 1} if workers is not None else {}),
+        )
 
     # ----------------------------------------------------------------- state
     @property
@@ -167,6 +209,15 @@ class PopulationEngine:
     def last_report(self) -> Optional[GenerationReport]:
         """Report for the most recent :meth:`generate` call."""
         return self._last_report
+
+    @property
+    def stats(self) -> EngineStats:
+        """Cumulative generation/cache-hit accounting for this engine."""
+        return self._stats
+
+    def reset_stats(self) -> None:
+        """Zero the cumulative accounting (e.g. between sweep runs)."""
+        self._stats = EngineStats()
 
     # ------------------------------------------------------------- generation
     def generate(
@@ -188,6 +239,7 @@ class PopulationEngine:
                     cache_hit=True,
                     cache_path=str(self._cache.path_for(config, roles)),
                 )
+                self._stats = replace(self._stats, cache_hits=self._stats.cache_hits + 1)
                 return cached
 
         workers = self._effective_workers(config.num_hosts)
@@ -208,6 +260,7 @@ class PopulationEngine:
             cache_hit=False,
             cache_path=cache_path,
         )
+        self._stats = replace(self._stats, generations=self._stats.generations + 1)
         return population
 
     def _effective_workers(self, num_hosts: int) -> int:

@@ -1,0 +1,277 @@
+"""The ``repro`` command line: run sweeps, report results, run the paper suite.
+
+Installed as a console script (``pip install -e .`` puts ``repro`` on PATH)
+and also reachable as ``python -m repro``::
+
+    repro sweep list                          # the packaged scenario library
+    repro sweep run policy-grid               # run a packaged sweep
+    repro sweep run my_campaign.toml \\
+        --workers 4 --cache-dir ~/.cache/repro/populations
+    repro sweep report sweep-policy-grid.jsonl
+    repro sweep report store.jsonl --pivot spec.policy.kind spec.attack.size
+    repro experiments --paper-scale           # Figures 1-5, Tables 2-3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional
+
+from repro.engine import PopulationEngine
+from repro.sweeps.catalog import builtin_sweeps, load_builtin
+from repro.sweeps.results import (
+    HEADLINE_METRICS,
+    AGGREGATIONS,
+    ResultStore,
+    comparison_table,
+    pivot,
+)
+from repro.sweeps.runner import ScenarioResult, SweepRunner
+from repro.sweeps.spec import SweepSpec
+from repro.utils.validation import ValidationError
+from repro.workload.enterprise import EnterpriseConfig
+
+
+def _build_engine(args: argparse.Namespace) -> PopulationEngine:
+    """The engine the run/experiments subcommands share, from CLI flags."""
+    return PopulationEngine.from_flags(
+        workers=args.workers, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for generation and evaluation (default: auto)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="population cache directory (default: $REPRO_CACHE_DIR when set)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk population cache"
+    )
+
+
+def _resolve_sweep(spec_argument: str) -> SweepSpec:
+    """A sweep spec from a TOML path, or a packaged sweep by name."""
+    path = Path(spec_argument)
+    if path.suffix == ".toml" or path.exists():
+        if not path.is_file():
+            raise ValidationError(f"sweep spec file not found: {path}")
+        return SweepSpec.from_toml(path.read_text(encoding="utf-8"))
+    return load_builtin(spec_argument)
+
+
+def _apply_population_overrides(sweep: SweepSpec, args: argparse.Namespace) -> SweepSpec:
+    """Apply ``--hosts/--weeks/--seed`` to the sweep's base scenario.
+
+    Axes that sweep the same population field still win over the override
+    (axes are applied per scenario, after the base).
+    """
+    overrides = {}
+    if args.hosts is not None:
+        overrides["population.num_hosts"] = args.hosts
+    if args.weeks is not None:
+        overrides["population.num_weeks"] = args.weeks
+    if args.seed is not None:
+        overrides["population.seed"] = args.seed
+    if not overrides:
+        return sweep
+    return replace(sweep, scenario=sweep.scenario.with_overrides(overrides))
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    sweep = _apply_population_overrides(_resolve_sweep(args.spec), args)
+    store_path = Path(args.store) if args.store else Path(f"sweep-{sweep.name}.jsonl")
+    store = ResultStore(store_path)
+    engine = _build_engine(args)
+    runner = SweepRunner(engine=engine, workers=args.workers)
+
+    scenarios = sweep.expand()  # expanded once; handed to the runner below
+    print(f"sweep {sweep.name!r}: {len(scenarios)} scenario(s) -> {store_path}")
+
+    def progress(completed: int, total: int, result: ScenarioResult) -> None:
+        if args.quiet:
+            return
+        outcome = result.outcome
+        print(
+            f"  [{completed:>{len(str(total))}}/{total}] {result.scenario.name}: "
+            f"utility={outcome.mean_utility:.4f} "
+            f"f-measure={outcome.mean_f_measure:.4f} "
+            f"alarms={outcome.total_false_alarms} "
+            f"({result.duration_seconds:.2f}s"
+            f"{', population reused' if result.population_reused else ''})"
+        )
+
+    run_id = f"{sweep.name}-{int(time.time())}"
+    run = runner.run(sweep, store=store, progress=progress, run_id=run_id, scenarios=scenarios)
+    print(run.summary())
+    print(f"results appended to {store_path} (run id {run_id})")
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    records = store.records()
+    if not records:
+        print(f"no records in {store.path}", file=sys.stderr)
+        return 1
+    if args.pivot:
+        rows_field, cols_field = args.pivot
+        headers, rows = pivot(
+            records, rows=rows_field, columns=cols_field, metric=args.metric, agg=args.agg
+        )
+        from repro.experiments.report import render_table
+
+        print(
+            render_table(
+                headers,
+                rows,
+                title=f"{args.agg}({args.metric}) by {rows_field} x {cols_field}",
+            )
+        )
+        return 0
+    metrics = args.metrics if args.metrics else list(HEADLINE_METRICS)
+    print(comparison_table(records, metrics=metrics))
+    return 0
+
+
+def _cmd_sweep_list(_: argparse.Namespace) -> int:
+    sweeps = builtin_sweeps()
+    width = max(len(name) for name in sweeps)
+    print("packaged sweeps (run with `repro sweep run <name>`):")
+    for name in sorted(sweeps):
+        spec = sweeps[name]
+        print(f"  {name:<{width}}  {len(spec.expand()):>3} scenarios  {spec.description}")
+    return 0
+
+
+def _experiments_config(args: argparse.Namespace) -> EnterpriseConfig:
+    """The population the experiments subcommand runs on.
+
+    ``is not None`` checks throughout: 0 is a legitimate ``--seed``.
+    """
+    seed = args.seed if args.seed is not None else 2009
+    if args.paper_scale:
+        return EnterpriseConfig(num_hosts=350, num_weeks=5, seed=seed)
+    return EnterpriseConfig(
+        num_hosts=args.hosts if args.hosts is not None else 100,
+        num_weeks=args.weeks if args.weeks is not None else 2,
+        seed=seed,
+    )
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import run_all_experiments
+
+    config = _experiments_config(args)
+    engine = _build_engine(args)
+    started = time.time()
+    print(f"Generating population: {config.num_hosts} hosts, {config.num_weeks} weeks...")
+    population = engine.generate(config)
+    report = engine.last_report
+    how = "cache" if report.cache_hit else f"{report.workers} worker(s)"
+    print(f"  ready in {time.time() - started:.1f}s (via {how})")
+    started = time.time()
+    print("Running the full experiment suite (Figures 1-5, Tables 2-3)...")
+    suite = run_all_experiments(population=population)
+    print(f"  completed in {time.time() - started:.1f}s\n")
+    print(suite.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Detection campaigns on the synthetic monoculture-HIDS enterprise.",
+    )
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subcommands.add_parser("sweep", help="declarative scenario sweeps")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    run = sweep_sub.add_parser("run", help="expand and execute a sweep spec")
+    run.add_argument("spec", help="TOML spec path, or a packaged sweep name")
+    run.add_argument(
+        "--store", default=None, help="JSONL result store (default: sweep-<name>.jsonl)"
+    )
+    run.add_argument("--hosts", type=int, default=None, help="override base population size")
+    run.add_argument("--weeks", type=int, default=None, help="override base population weeks")
+    run.add_argument("--seed", type=int, default=None, help="override base population seed")
+    run.add_argument("--quiet", action="store_true", help="suppress per-scenario progress")
+    _add_engine_flags(run)
+    run.set_defaults(handler=_cmd_sweep_run)
+
+    report = sweep_sub.add_parser("report", help="compare scenarios stored in a JSONL store")
+    report.add_argument("store", help="JSONL result store written by `repro sweep run`")
+    report.add_argument(
+        "--metrics",
+        nargs="+",
+        default=None,
+        metavar="METRIC",
+        help=f"metric columns (default: {' '.join(HEADLINE_METRICS)})",
+    )
+    report.add_argument(
+        "--pivot",
+        nargs=2,
+        default=None,
+        metavar=("ROWS", "COLS"),
+        help="cross-tabulate two record fields (e.g. spec.policy.kind spec.attack.size)",
+    )
+    report.add_argument(
+        "--metric", default="mean_utility", help="metric to aggregate in --pivot mode"
+    )
+    report.add_argument(
+        "--agg",
+        default="mean",
+        choices=sorted(AGGREGATIONS),
+        help="aggregation used in --pivot mode",
+    )
+    report.set_defaults(handler=_cmd_sweep_report)
+
+    listing = sweep_sub.add_parser("list", help="show the packaged scenario library")
+    listing.set_defaults(handler=_cmd_sweep_list)
+
+    experiments = subcommands.add_parser(
+        "experiments", help="run the full paper experiment suite (Figures 1-5, Tables 2-3)"
+    )
+    experiments.add_argument(
+        "--paper-scale", action="store_true", help="use 350 hosts and 5 weeks"
+    )
+    experiments.add_argument("--hosts", type=int, default=None, help="number of end hosts")
+    experiments.add_argument("--weeks", type=int, default=None, help="weeks of traffic")
+    experiments.add_argument("--seed", type=int, default=None, help="generation seed")
+    _add_engine_flags(experiments)
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro sweep report ... | head`); point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+__all__ = ["main", "build_parser"]

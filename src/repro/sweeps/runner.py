@@ -1,0 +1,313 @@
+"""The sweep runner: expand, deduplicate populations, evaluate, stream.
+
+:class:`SweepRunner` turns a :class:`~repro.sweeps.spec.SweepSpec` into
+stored results:
+
+* the sweep expands into concrete scenarios;
+* scenarios are grouped by :func:`~repro.engine.cache.population_cache_key`,
+  and each *distinct* population configuration is generated exactly once via
+  the :class:`~repro.engine.PopulationEngine` (scenarios differing only in
+  policy, attack or evaluation knobs reuse one generated population —
+  verified by the engine's cumulative :class:`~repro.engine.EngineStats`);
+* scenario evaluation fans out across a process pool when the runner has
+  ``workers > 1`` and the engine has an on-disk cache (workers reload the
+  shared populations from it), and degrades to the bit-identical serial path
+  otherwise;
+* each finished scenario is appended to the
+  :class:`~repro.sweeps.results.ResultStore` and reported through the
+  ``progress`` callback as soon as it lands.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.evaluation import EvaluationProtocol
+from repro.core.experiment import ScenarioOutcome, evaluate_scenario
+from repro.engine import EngineStats, PopulationEngine, population_cache_key
+from repro.sweeps.results import ResultStore, ScenarioRecord
+from repro.sweeps.spec import ScenarioSpec, SweepSpec
+from repro.utils.validation import require
+from repro.workload.enterprise import EnterprisePopulation
+
+#: Progress callback: (completed count, total count, the finished result).
+ProgressCallback = Callable[[int, int, "ScenarioResult"], None]
+
+
+class _PoolUnavailable(Exception):
+    """The process pool could not produce any result (fall back to serial)."""
+
+
+def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> ScenarioOutcome:
+    """Evaluate one scenario spec against an already generated population."""
+    spec.validate()
+    feature = spec.evaluation.feature_enum()
+    protocol = EvaluationProtocol(
+        feature=feature,
+        train_week=spec.evaluation.train_week,
+        test_week=spec.evaluation.test_week,
+        utility_weight=spec.evaluation.utility_weight,
+    )
+    attack_builder = spec.attack.build_builder(feature, population.config.bin_width)
+    return evaluate_scenario(
+        population,
+        spec.policy.build(),
+        protocol,
+        attack_builder=attack_builder,
+        attack_prevalence=spec.evaluation.attack_prevalence,
+    )
+
+
+def _evaluate_scenario_task(
+    payload: Dict[str, Any], cache_dir: Optional[str]
+) -> Tuple[Dict[str, Any], float]:
+    """Worker entry point: reload the shared population, evaluate, return.
+
+    The parent generated every distinct population before fanning out, so the
+    worker's engine finds it in the on-disk cache and never regenerates.
+    """
+    started = time.perf_counter()
+    spec = ScenarioSpec.from_dict(payload)
+    engine = PopulationEngine(workers=1, cache_dir=cache_dir)
+    population = engine.generate(spec.population.to_config())
+    outcome = run_scenario(spec, population)
+    return outcome.to_dict(), time.perf_counter() - started
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One evaluated scenario: the spec, its metrics, and provenance."""
+
+    scenario: ScenarioSpec
+    outcome: ScenarioOutcome
+    duration_seconds: float
+    population_reused: bool
+
+    def to_record(self, sweep_name: str, run_id: str = "") -> ScenarioRecord:
+        """The JSONL record stored for this result."""
+        return ScenarioRecord(
+            sweep=sweep_name,
+            scenario=self.scenario.name,
+            spec=self.scenario.to_dict(),
+            metrics=self.outcome.to_dict(),
+            timing={
+                "duration_seconds": self.duration_seconds,
+                "population_reused": self.population_reused,
+            },
+            run_id=run_id,
+        )
+
+
+@dataclass(frozen=True)
+class SweepRunResult:
+    """Everything one :meth:`SweepRunner.run` call produced."""
+
+    sweep: SweepSpec
+    results: Tuple[ScenarioResult, ...]
+    distinct_populations: int
+    populations_generated: int
+    populations_from_cache: int
+    engine_stats: EngineStats
+    duration_seconds: float
+    workers: int
+
+    @property
+    def scenarios_per_second(self) -> float:
+        """Campaign throughput (evaluated scenarios per wall-clock second)."""
+        if self.duration_seconds <= 0.0:
+            return 0.0
+        return len(self.results) / self.duration_seconds
+
+    def summary(self) -> str:
+        """One-paragraph accounting of the run."""
+        return (
+            f"sweep {self.sweep.name!r}: {len(self.results)} scenario(s) in "
+            f"{self.duration_seconds:.1f}s ({self.scenarios_per_second:.2f}/s, "
+            f"{self.workers} worker(s)); {self.distinct_populations} distinct "
+            f"population(s): {self.populations_generated} generated, "
+            f"{self.populations_from_cache} from cache"
+        )
+
+
+class SweepRunner:
+    """Expands and executes sweeps against a population engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`PopulationEngine` used for population generation and
+        deduplication; defaults to the environment-configured engine.
+    workers:
+        Process count for *scenario evaluation* (population generation
+        parallelism is the engine's own concern).  More than one worker
+        requires the engine to have an on-disk cache — the pool's workers
+        reload the shared populations from it; without a cache the runner
+        falls back to serial evaluation.
+    """
+
+    def __init__(
+        self, engine: Optional[PopulationEngine] = None, workers: Optional[int] = None
+    ) -> None:
+        require(workers is None or workers >= 1, "workers must be >= 1")
+        self._engine = engine if engine is not None else PopulationEngine.from_env()
+        self._workers = workers if workers is not None else 1
+
+    @property
+    def engine(self) -> PopulationEngine:
+        """The population engine in use."""
+        return self._engine
+
+    @property
+    def workers(self) -> int:
+        """Configured evaluation worker count."""
+        return self._workers
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+        run_id: str = "",
+        scenarios: Optional[List[ScenarioSpec]] = None,
+    ) -> SweepRunResult:
+        """Execute every scenario of ``sweep``; returns results in sweep order.
+
+        Each scenario is appended to ``store`` and reported through
+        ``progress`` the moment it finishes, so an interrupted campaign keeps
+        every completed record.  ``scenarios`` accepts the output of
+        ``sweep.expand()`` when the caller already expanded it (avoids a
+        second expansion); it must come from this exact sweep.
+        """
+        started = time.perf_counter()
+        scenarios = list(scenarios) if scenarios is not None else sweep.expand()
+        stats_before = self._engine.stats
+
+        def on_finished(completed: int, total: int, result: ScenarioResult) -> None:
+            if store is not None:
+                store.append(result.to_record(sweep.name, run_id=run_id))
+            if progress is not None:
+                progress(completed, total, result)
+
+        populations, first_use = self._generate_distinct_populations(scenarios)
+        results = self._evaluate(scenarios, populations, first_use, on_finished)
+
+        stats_delta_generations = self._engine.stats.generations - stats_before.generations
+        stats_delta_hits = self._engine.stats.cache_hits - stats_before.cache_hits
+        return SweepRunResult(
+            sweep=sweep,
+            results=tuple(results),
+            distinct_populations=len(populations),
+            populations_generated=stats_delta_generations,
+            populations_from_cache=stats_delta_hits,
+            engine_stats=self._engine.stats,
+            duration_seconds=time.perf_counter() - started,
+            workers=self._effective_workers(),
+        )
+
+    # ----------------------------------------------------------- internals
+    def _generate_distinct_populations(
+        self, scenarios: List[ScenarioSpec]
+    ) -> Tuple[Dict[str, EnterprisePopulation], Dict[str, str]]:
+        """One engine generation per distinct population configuration.
+
+        Returns the populations keyed by content hash, plus the name of the
+        first scenario to use each key (later users are "reusers").
+        """
+        populations: Dict[str, EnterprisePopulation] = {}
+        first_use: Dict[str, str] = {}
+        for scenario in scenarios:
+            key = population_cache_key(scenario.population.to_config())
+            if key not in populations:
+                populations[key] = self._engine.generate(scenario.population.to_config())
+                first_use[key] = scenario.name
+        return populations, first_use
+
+    def _effective_workers(self) -> int:
+        if self._workers > 1 and self._engine.cache is None:
+            return 1
+        return self._workers
+
+    def _evaluate(
+        self,
+        scenarios: List[ScenarioSpec],
+        populations: Dict[str, EnterprisePopulation],
+        first_use: Dict[str, str],
+        progress: Optional[ProgressCallback],
+    ) -> List[ScenarioResult]:
+        total = len(scenarios)
+        reused = [
+            first_use[population_cache_key(s.population.to_config())] != s.name
+            for s in scenarios
+        ]
+        if self._effective_workers() > 1:
+            try:
+                return self._evaluate_parallel(scenarios, reused, progress, total)
+            except _PoolUnavailable:
+                # Restricted environments (no process spawning) fall back to
+                # the identical serial path, as the engine itself does.  Once
+                # the pool has produced a result, later errors are real and
+                # propagate instead (no silent duplicate re-run).
+                pass
+        return self._evaluate_serial(scenarios, populations, reused, progress, total)
+
+    def _evaluate_serial(
+        self,
+        scenarios: List[ScenarioSpec],
+        populations: Dict[str, EnterprisePopulation],
+        reused: List[bool],
+        progress: Optional[ProgressCallback],
+        total: int,
+    ) -> List[ScenarioResult]:
+        results: List[ScenarioResult] = []
+        for index, scenario in enumerate(scenarios):
+            scenario_started = time.perf_counter()
+            population = populations[population_cache_key(scenario.population.to_config())]
+            outcome = run_scenario(scenario, population)
+            result = ScenarioResult(
+                scenario=scenario,
+                outcome=outcome,
+                duration_seconds=time.perf_counter() - scenario_started,
+                population_reused=reused[index],
+            )
+            results.append(result)
+            if progress is not None:
+                progress(index + 1, total, result)
+        return results
+
+    def _evaluate_parallel(
+        self,
+        scenarios: List[ScenarioSpec],
+        reused: List[bool],
+        progress: Optional[ProgressCallback],
+        total: int,
+    ) -> List[ScenarioResult]:
+        cache_dir = str(self._engine.cache.directory)
+        results: List[ScenarioResult] = []
+        try:
+            with ProcessPoolExecutor(max_workers=self._workers) as executor:
+                futures = [
+                    executor.submit(_evaluate_scenario_task, scenario.to_dict(), cache_dir)
+                    for scenario in scenarios
+                ]
+                for index, (scenario, future) in enumerate(zip(scenarios, futures)):
+                    outcome_payload, duration = future.result()
+                    result = ScenarioResult(
+                        scenario=scenario,
+                        outcome=ScenarioOutcome.from_dict(outcome_payload),
+                        duration_seconds=duration,
+                        population_reused=reused[index],
+                    )
+                    results.append(result)
+                    if progress is not None:
+                        progress(index + 1, total, result)
+        except (OSError, BrokenProcessPool, AssertionError) as error:
+            if results:
+                # The pool worked, then something real broke (disk full,
+                # cache deleted mid-run): surface it, don't re-run serially.
+                raise
+            raise _PoolUnavailable() from error
+        return results

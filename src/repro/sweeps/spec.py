@@ -1,0 +1,501 @@
+"""Declarative scenario and sweep specifications.
+
+A :class:`ScenarioSpec` names everything one detection campaign needs —
+the population to generate, the configuration policy, the attack overlaid on
+the test week and the evaluation protocol — as plain data.  A
+:class:`SweepSpec` is a base scenario plus named *axes* (lists of values for
+any scenario field, addressed by dotted path such as ``"policy.kind"`` or
+``"population.num_hosts"``) which expands into a list of concrete scenarios
+via grid (cartesian product) or zip (parallel iteration) semantics.
+
+Both specs are loadable from TOML or plain dicts and round-trip exactly:
+``SweepSpec.from_toml(spec.to_toml()) == spec``.  Expansion is deterministic,
+including per-scenario seed derivation (``seed_mode = "derived"`` hashes the
+sweep seed together with the population fields, so scenarios sharing a
+population configuration share a seed — and therefore one generated
+population — while different configurations get distinct, stable seeds).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.features.definitions import Feature
+from repro.sweeps import toml_io
+from repro.utils.validation import ValidationError, require
+from repro.workload.enterprise import EnterpriseConfig
+
+#: Policy kinds understood by :class:`PolicySpec`.
+POLICY_KINDS = ("homogeneous", "full-diversity", "partial-diversity")
+
+#: Threshold heuristics understood by :class:`PolicySpec`.
+HEURISTIC_KINDS = ("percentile", "mean-std", "utility", "f-measure")
+
+#: Attack kinds understood by :class:`AttackSpec`.
+ATTACK_KINDS = ("none", "naive", "storm")
+
+#: Sweep expansion modes.
+SWEEP_MODES = ("grid", "zip")
+
+#: Per-scenario seed handling: keep the spec's seed, or derive one per
+#: distinct population configuration from the sweep seed.
+SEED_MODES = ("fixed", "derived")
+
+
+def _from_mapping(cls, data: Mapping[str, Any], context: str):
+    """Build a flat spec dataclass from a mapping, rejecting unknown keys."""
+    require(isinstance(data, Mapping), f"{context} must be a table/dict")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValidationError(
+            f"{context}: unknown field(s) {sorted(unknown)}; expected a subset of {sorted(known)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for spec_field in fields(cls):
+        if spec_field.name in data:
+            kwargs[spec_field.name] = _coerce(data[spec_field.name], spec_field.type, context)
+    return cls(**kwargs)
+
+
+def _coerce(value: Any, annotation: Any, context: str) -> Any:
+    """Normalise TOML/JSON scalars onto the annotated field type."""
+    text = str(annotation)
+    if "float" in text and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if "Tuple" in text and isinstance(value, (list, tuple)):
+        return tuple(
+            float(item) if isinstance(item, int) and not isinstance(item, bool) else item
+            for item in value
+        )
+    return value
+
+
+def _choice(value: str, allowed: Sequence[str], label: str) -> None:
+    if value not in allowed:
+        raise ValidationError(f"{label} must be one of {list(allowed)}, got {value!r}")
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """The enterprise population a scenario evaluates against."""
+
+    num_hosts: int = 100
+    num_weeks: int = 2
+    seed: int = 2009
+    laptop_fraction: float = 0.95
+    with_mobility: bool = True
+    with_maintenance: bool = True
+    week_drift_scale: float = 1.0
+
+    def to_config(self) -> EnterpriseConfig:
+        """The :class:`EnterpriseConfig` this spec describes."""
+        return EnterpriseConfig(
+            num_hosts=self.num_hosts,
+            num_weeks=self.num_weeks,
+            seed=self.seed,
+            laptop_fraction=self.laptop_fraction,
+            with_mobility=self.with_mobility,
+            with_maintenance=self.with_maintenance,
+            week_drift_scale=self.week_drift_scale,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "num_hosts": self.num_hosts,
+            "num_weeks": self.num_weeks,
+            "seed": self.seed,
+            "laptop_fraction": self.laptop_fraction,
+            "with_mobility": self.with_mobility,
+            "with_maintenance": self.with_maintenance,
+            "week_drift_scale": self.week_drift_scale,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PopulationSpec":
+        spec = _from_mapping(cls, data, "population")
+        spec.to_config()  # delegate range validation to EnterpriseConfig
+        return spec
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """The configuration policy (grouping + threshold heuristic) under test."""
+
+    kind: str = "homogeneous"
+    heuristic: str = "percentile"
+    percentile: float = 99.0
+    num_std: float = 3.0
+    utility_weight: float = 0.4
+    attack_sizes: Tuple[float, ...] = (10.0, 50.0, 100.0, 500.0)
+    attack_prevalence: float = 0.01
+    num_groups: int = 8
+
+    def build(self):
+        """Instantiate the :class:`~repro.core.policies.ConfigurationPolicy`."""
+        from repro.core.policies import (
+            FullDiversityPolicy,
+            HomogeneousPolicy,
+            PartialDiversityPolicy,
+        )
+        from repro.core.thresholds import (
+            FMeasureHeuristic,
+            MeanStdHeuristic,
+            PercentileHeuristic,
+            UtilityHeuristic,
+        )
+
+        if self.heuristic == "percentile":
+            heuristic = PercentileHeuristic(self.percentile)
+        elif self.heuristic == "mean-std":
+            heuristic = MeanStdHeuristic(self.num_std)
+        elif self.heuristic == "utility":
+            heuristic = UtilityHeuristic(weight=self.utility_weight, attack_sizes=self.attack_sizes)
+        else:
+            heuristic = FMeasureHeuristic(
+                attack_sizes=self.attack_sizes, attack_prevalence=self.attack_prevalence
+            )
+        if self.kind == "homogeneous":
+            return HomogeneousPolicy(heuristic)
+        if self.kind == "full-diversity":
+            return FullDiversityPolicy(heuristic)
+        return PartialDiversityPolicy(heuristic, num_groups=self.num_groups)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "heuristic": self.heuristic,
+            "percentile": self.percentile,
+            "num_std": self.num_std,
+            "utility_weight": self.utility_weight,
+            "attack_sizes": list(self.attack_sizes),
+            "attack_prevalence": self.attack_prevalence,
+            "num_groups": self.num_groups,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolicySpec":
+        spec = _from_mapping(cls, data, "policy")
+        _choice(spec.kind, POLICY_KINDS, "policy.kind")
+        _choice(spec.heuristic, HEURISTIC_KINDS, "policy.heuristic")
+        require(0.0 < spec.percentile < 100.0, "policy.percentile must be in (0, 100)")
+        if spec.kind == "partial-diversity":
+            require(
+                spec.num_groups >= 2 and spec.num_groups % 2 == 0,
+                "policy.num_groups must be an even number >= 2",
+            )
+        return spec
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """The attack overlaid on every host's test week (or ``"none"``)."""
+
+    kind: str = "naive"
+    size: float = 80.0
+    active_fraction: float = 1.0
+    seed: int = 1701
+
+    def build_builder(
+        self, feature: Feature, bin_width: float
+    ) -> Optional[Callable[[int, Any], Any]]:
+        """The per-host attack builder :func:`evaluate_policy_on_feature` takes."""
+        if self.kind == "none":
+            return None
+        if self.kind == "naive":
+            from repro.attacks.naive import NaiveAttacker
+
+            attacker = NaiveAttacker(
+                feature=feature, attack_size=self.size, active_fraction=self.active_fraction
+            )
+
+            def build_naive(host_id: int, matrix):
+                return attacker.build(matrix, np.random.default_rng((self.seed, host_id)))
+
+            return build_naive
+
+        from repro.attacks.storm import generate_storm_trace
+        from repro.utils.timeutils import WEEK
+
+        # The paper replays the same zombie trace over every host's test week.
+        storm = generate_storm_trace(duration=WEEK, bin_width=bin_width, seed=self.seed)
+
+        def build_storm(host_id: int, matrix):
+            return storm
+
+        return build_storm
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "size": self.size,
+            "active_fraction": self.active_fraction,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AttackSpec":
+        spec = _from_mapping(cls, data, "attack")
+        _choice(spec.kind, ATTACK_KINDS, "attack.kind")
+        require(spec.size >= 0.0, "attack.size must be non-negative")
+        require(0.0 <= spec.active_fraction <= 1.0, "attack.active_fraction must be in [0, 1]")
+        return spec
+
+
+@dataclass(frozen=True)
+class EvaluationSpec:
+    """The train/test protocol and the metrics' fixed parameters."""
+
+    feature: str = Feature.TCP_CONNECTIONS.value
+    train_week: int = 0
+    test_week: int = 1
+    utility_weight: float = 0.4
+    attack_prevalence: float = 0.01
+
+    def feature_enum(self) -> Feature:
+        """The :class:`Feature` this spec names."""
+        try:
+            return Feature(self.feature)
+        except ValueError:
+            valid = [feature.value for feature in Feature]
+            raise ValidationError(
+                f"evaluation.feature must be one of {valid}, got {self.feature!r}"
+            ) from None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "feature": self.feature,
+            "train_week": self.train_week,
+            "test_week": self.test_week,
+            "utility_weight": self.utility_weight,
+            "attack_prevalence": self.attack_prevalence,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationSpec":
+        spec = _from_mapping(cls, data, "evaluation")
+        spec.feature_enum()
+        require(spec.train_week >= 0, "evaluation.train_week must be non-negative")
+        require(spec.test_week >= 0, "evaluation.test_week must be non-negative")
+        require(spec.train_week != spec.test_week, "train and test weeks must differ")
+        require(0.0 <= spec.utility_weight <= 1.0, "evaluation.utility_weight must be in [0, 1]")
+        require(
+            0.0 <= spec.attack_prevalence <= 1.0, "evaluation.attack_prevalence must be in [0, 1]"
+        )
+        return spec
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully specified detection campaign."""
+
+    name: str = "scenario"
+    population: PopulationSpec = field(default_factory=PopulationSpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    attack: AttackSpec = field(default_factory=AttackSpec)
+    evaluation: EvaluationSpec = field(default_factory=EvaluationSpec)
+
+    def validate(self) -> "ScenarioSpec":
+        """Cross-field checks (the sections validate themselves on parse)."""
+        weeks = self.population.num_weeks
+        require(
+            self.evaluation.train_week < weeks and self.evaluation.test_week < weeks,
+            f"scenario {self.name!r}: train/test weeks must fit in "
+            f"{weeks} population week(s)",
+        )
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "population": self.population.to_dict(),
+            "policy": self.policy.to_dict(),
+            "attack": self.attack.to_dict(),
+            "evaluation": self.evaluation.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        require(isinstance(data, Mapping), "scenario must be a table/dict")
+        unknown = set(data) - {"name", "population", "policy", "attack", "evaluation"}
+        if unknown:
+            raise ValidationError(f"scenario: unknown section(s) {sorted(unknown)}")
+        return cls(
+            name=str(data.get("name", "scenario")),
+            population=PopulationSpec.from_dict(data.get("population", {})),
+            policy=PolicySpec.from_dict(data.get("policy", {})),
+            attack=AttackSpec.from_dict(data.get("attack", {})),
+            evaluation=EvaluationSpec.from_dict(data.get("evaluation", {})),
+        ).validate()
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """A copy with dotted-path fields replaced (``{"policy.kind": ...}``)."""
+        data = self.to_dict()
+        for path, value in overrides.items():
+            _set_path(data, path, value, scenario=self.name)
+        return ScenarioSpec.from_dict(data)
+
+
+def _set_path(data: Dict[str, Any], path: str, value: Any, scenario: str) -> None:
+    parts = path.split(".")
+    table: Any = data
+    for part in parts[:-1]:
+        if not isinstance(table, dict) or part not in table:
+            raise ValidationError(f"scenario {scenario!r}: unknown axis path {path!r}")
+        table = table[part]
+    if not isinstance(table, dict) or parts[-1] not in table:
+        raise ValidationError(f"scenario {scenario!r}: unknown axis path {path!r}")
+    table[parts[-1]] = value
+
+
+def derive_scenario_seed(sweep_seed: int, population: PopulationSpec) -> int:
+    """Deterministic population seed for ``seed_mode = "derived"``.
+
+    Hashes the sweep seed together with every population field *except* the
+    seed itself, so scenarios that share a population configuration share the
+    derived seed (and therefore one generated population) while any change to
+    the population fields yields a different, stable seed.
+    """
+    payload = {key: value for key, value in population.to_dict().items() if key != "seed"}
+    blob = json.dumps({"sweep_seed": sweep_seed, "population": payload}, sort_keys=True)
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1) + 1
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base scenario plus named axes, expandable into concrete scenarios."""
+
+    name: str = "sweep"
+    description: str = ""
+    mode: str = "grid"
+    seed: int = 0
+    seed_mode: str = "fixed"
+    scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> "SweepSpec":
+        _choice(self.mode, SWEEP_MODES, "sweep.mode")
+        _choice(self.seed_mode, SEED_MODES, "sweep.seed_mode")
+        require(bool(self.name), "sweep.name must be non-empty")
+        seen_paths = set()
+        lengths = []
+        for path, values in self.axes:
+            require(path not in seen_paths, f"axis {path!r} listed twice")
+            seen_paths.add(path)
+            require(len(values) > 0, f"axis {path!r} must have at least one value")
+            require(
+                len(set(map(repr, values))) == len(values),
+                f"axis {path!r} contains duplicate values",
+            )
+            lengths.append(len(values))
+        if self.mode == "zip" and lengths:
+            require(
+                len(set(lengths)) == 1,
+                f"zip mode requires equal-length axes, got lengths {lengths}",
+            )
+        # Surface bad paths at load time, not at expansion time.
+        if self.axes:
+            self.scenario.with_overrides({path: values[0] for path, values in self.axes})
+        return self
+
+    # -------------------------------------------------------------- expansion
+    def combinations(self) -> List[Dict[str, Any]]:
+        """The per-scenario override mappings, in deterministic order."""
+        if not self.axes:
+            return [{}]
+        paths = [path for path, _ in self.axes]
+        value_lists = [values for _, values in self.axes]
+        if self.mode == "grid":
+            combos = itertools.product(*value_lists)
+        else:
+            combos = zip(*value_lists)
+        return [dict(zip(paths, combo)) for combo in combos]
+
+    def expand(self) -> List[ScenarioSpec]:
+        """Expand into concrete, uniquely named, validated scenarios."""
+        self.validate()
+        labels = self._axis_labels()
+        scenarios: List[ScenarioSpec] = []
+        for overrides in self.combinations():
+            scenario = self.scenario.with_overrides(overrides)
+            if self.seed_mode == "derived" and "population.seed" not in overrides:
+                derived = derive_scenario_seed(self.seed, scenario.population)
+                scenario = replace(scenario, population=replace(scenario.population, seed=derived))
+            suffix = ",".join(
+                f"{labels[path]}={_slug(value)}" for path, value in overrides.items()
+            )
+            name = f"{self.name}/{suffix}" if suffix else self.name
+            scenarios.append(replace(scenario, name=name).validate())
+        names = [scenario.name for scenario in scenarios]
+        require(len(set(names)) == len(names), "expanded scenario names must be unique")
+        return scenarios
+
+    def _axis_labels(self) -> Dict[str, str]:
+        """Shortest unambiguous label per axis path (last dotted segment)."""
+        shorts = [path.rsplit(".", 1)[-1] for path, _ in self.axes]
+        labels = {}
+        for (path, _), short in zip(self.axes, shorts):
+            labels[path] = short if shorts.count(short) == 1 else path
+        return labels
+
+    # ------------------------------------------------------------ round trips
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": {
+                "name": self.name,
+                "description": self.description,
+                "mode": self.mode,
+                "seed": self.seed,
+                "seed_mode": self.seed_mode,
+            },
+            "scenario": self.scenario.to_dict(),
+            "axes": {path: list(values) for path, values in self.axes},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        require(isinstance(data, Mapping), "sweep spec must be a table/dict")
+        unknown = set(data) - {"sweep", "scenario", "axes"}
+        if unknown:
+            raise ValidationError(f"sweep spec: unknown section(s) {sorted(unknown)}")
+        header = data.get("sweep", {})
+        require(isinstance(header, Mapping), "[sweep] must be a table/dict")
+        unknown = set(header) - {"name", "description", "mode", "seed", "seed_mode"}
+        if unknown:
+            raise ValidationError(f"[sweep]: unknown field(s) {sorted(unknown)}")
+        axes_data = data.get("axes", {})
+        require(isinstance(axes_data, Mapping), "[axes] must be a table/dict")
+        axes = tuple(
+            (str(path), tuple(values) if isinstance(values, (list, tuple)) else (values,))
+            for path, values in axes_data.items()
+        )
+        return cls(
+            name=str(header.get("name", "sweep")),
+            description=str(header.get("description", "")),
+            mode=str(header.get("mode", "grid")),
+            seed=int(header.get("seed", 0)),
+            seed_mode=str(header.get("seed_mode", "fixed")),
+            scenario=ScenarioSpec.from_dict(data.get("scenario", {})),
+            axes=axes,
+        ).validate()
+
+    def to_toml(self) -> str:
+        return toml_io.dumps(self.to_dict())
+
+    @classmethod
+    def from_toml(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(toml_io.loads(text))
+
+
+def _slug(value: Any) -> str:
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value).replace(" ", "")

@@ -119,6 +119,52 @@ class TestCache:
     def test_uncached_engine_has_no_cache(self):
         assert PopulationEngine(workers=1).cache is None
 
+    def test_cache_dir_tilde_is_expanded(self, tmp_path, monkeypatch):
+        # The README's cache_dir="~/.cache/repro/populations" example must
+        # land in the home directory, not create a literal "~" directory.
+        monkeypatch.setenv("HOME", str(tmp_path))
+        monkeypatch.chdir(tmp_path)
+        engine = PopulationEngine(workers=1, cache_dir="~/population-cache")
+        engine.generate(EnterpriseConfig(num_hosts=3, num_weeks=2, seed=5))
+        assert (tmp_path / "population-cache").is_dir()
+        assert not (tmp_path / "~").exists()
+        assert engine.cache.directory == tmp_path / "population-cache"
+
+    def test_cache_dir_env_tilde_is_expanded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_DIR", "~/env-cache")
+        from repro.engine import resolve_cache_dir
+
+        assert resolve_cache_dir() == tmp_path / "env-cache"
+        assert resolve_cache_dir("~/arg-cache") == tmp_path / "arg-cache"
+
+    def test_from_flags_matches_cli_semantics(self, tmp_path):
+        # The shared --workers/--cache-dir/--no-cache construction rule.
+        explicit = PopulationEngine.from_flags(workers=3, cache_dir=tmp_path)
+        assert explicit.workers == 3
+        assert explicit.cache is not None
+        # --workers overrides the small-population serial heuristic.
+        assert explicit._effective_workers(2) == 2
+        no_cache = PopulationEngine.from_flags(cache_dir=tmp_path, no_cache=True)
+        assert no_cache.cache is None
+        # Without --workers the serial heuristic stays in force.
+        assert PopulationEngine.from_flags()._effective_workers(2) == 1
+
+    def test_engine_stats_accounting(self, tmp_path):
+        from repro.engine import EngineStats
+
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path)
+        assert engine.stats == EngineStats()
+        config = EnterpriseConfig(num_hosts=4, num_weeks=2, seed=6)
+        engine.generate(config)
+        engine.generate(config)
+        engine.generate(EnterpriseConfig(num_hosts=5, num_weeks=2, seed=6))
+        assert engine.stats.generations == 2
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.requests == 3
+        engine.reset_stats()
+        assert engine.stats == EngineStats()
+
 
 class TestSerialization:
     def test_write_read_round_trip(self, tmp_path):

@@ -1,0 +1,178 @@
+"""End-to-end tests of the ``repro`` command line (also ``python -m repro``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweeps.cli import main
+
+TINY_SWEEP = """
+[sweep]
+name = "tiny"
+description = "cli test sweep"
+
+[scenario.population]
+num_hosts = 6
+num_weeks = 2
+seed = 3
+
+[scenario.attack]
+kind = "naive"
+size = 40.0
+
+[axes]
+"policy.kind" = ["homogeneous", "full-diversity"]
+"""
+
+
+class TestSweepRun:
+    def test_run_spec_file_writes_store(self, tmp_path, capsys):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SWEEP)
+        store_path = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "sweep",
+                "run",
+                str(spec_path),
+                "--store",
+                str(store_path),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in store_path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert {line["scenario"] for line in lines} == {
+            "tiny/kind=homogeneous",
+            "tiny/kind=full-diversity",
+        }
+        out = capsys.readouterr().out
+        assert "2 scenario(s)" in out
+        assert "1 distinct population(s): 1 generated" in out
+
+    def test_packaged_sweep_runs_all_scenarios_one_generation(self, tmp_path, capsys):
+        # The acceptance path: a >=12-scenario packaged sweep end to end with
+        # every scenario reusing one generated population.
+        store_path = tmp_path / "policy-grid.jsonl"
+        code = main(
+            [
+                "sweep",
+                "run",
+                "policy-grid",
+                "--hosts",
+                "12",
+                "--weeks",
+                "2",
+                "--store",
+                str(store_path),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in store_path.read_text().splitlines()]
+        assert len(records) == 12
+        assert all(record["spec"]["population"]["num_hosts"] == 12 for record in records)
+        assert "1 distinct population(s): 1 generated, 0 from cache" in capsys.readouterr().out
+
+    def test_unknown_sweep_name_fails_cleanly(self, tmp_path, capsys):
+        code = main(["sweep", "run", "no-such-sweep", "--store", str(tmp_path / "x.jsonl")])
+        assert code == 2
+        assert "unknown built-in sweep" in capsys.readouterr().err
+
+
+class TestSweepReport:
+    @pytest.fixture()
+    def populated_store(self, tmp_path):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SWEEP)
+        store_path = tmp_path / "out.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    str(spec_path),
+                    "--store",
+                    str(store_path),
+                    "--no-cache",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        return store_path
+
+    def test_report_renders_comparison_table(self, populated_store, capsys):
+        capsys.readouterr()
+        assert main(["sweep", "report", str(populated_store)]) == 0
+        out = capsys.readouterr().out
+        assert "tiny/kind=homogeneous" in out
+        assert "mean_utility" in out
+
+    def test_report_pivot(self, populated_store, capsys):
+        capsys.readouterr()
+        code = main(
+            [
+                "sweep",
+                "report",
+                str(populated_store),
+                "--pivot",
+                "spec.policy.kind",
+                "spec.attack.size",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "homogeneous" in out
+        assert "40.0" in out
+
+    def test_report_missing_store(self, tmp_path, capsys):
+        assert main(["sweep", "report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no records" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_sweep_list_shows_catalog(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("policy-grid", "attack-intensity", "enterprise-scaling", "storm-replay"):
+            assert name in out
+
+    def test_experiments_seed_zero_is_respected(self):
+        from repro.sweeps.cli import _experiments_config, build_parser
+
+        args = build_parser().parse_args(
+            ["experiments", "--hosts", "8", "--weeks", "2", "--seed", "0"]
+        )
+        config = _experiments_config(args)
+        assert config.seed == 0
+        assert config.num_hosts == 8
+
+    def test_experiments_command_runs_suite(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["experiments", "--hosts", "10", "--weeks", "2", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3(a)" in out
+        assert "Figure 5" in out
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep", "list"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0
+        assert "policy-grid" in result.stdout

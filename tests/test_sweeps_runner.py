@@ -1,0 +1,241 @@
+"""Tests for the sweep runner and the JSONL result store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import PopulationEngine
+from repro.sweeps import (
+    RESULT_SCHEMA_VERSION,
+    ResultStore,
+    ScenarioRecord,
+    SweepRunner,
+    SweepSpec,
+    aggregate,
+    comparison_table,
+    pivot,
+    run_scenario,
+)
+from repro.utils.validation import ValidationError
+
+
+def _sweep(axes, num_hosts=8, mode="grid", name="test-sweep"):
+    return SweepSpec.from_dict(
+        {
+            "sweep": {"name": name, "mode": mode},
+            "scenario": {
+                "name": "base",
+                "population": {"num_hosts": num_hosts, "num_weeks": 2, "seed": 77},
+                "attack": {"kind": "naive", "size": 50.0},
+            },
+            "axes": axes,
+        }
+    )
+
+
+@pytest.fixture()
+def counting_generation(monkeypatch):
+    """Count real population generations (cache hits don't call this)."""
+    import repro.engine.engine as engine_module
+
+    calls = []
+    original = engine_module._generate_host_chunk
+
+    def counted(config, host_ids, roles):
+        calls.append(config)
+        return original(config, host_ids, roles)
+
+    monkeypatch.setattr(engine_module, "_generate_host_chunk", counted)
+    return calls
+
+
+class TestRunner:
+    def test_shared_population_generated_exactly_once(self, tmp_path, counting_generation):
+        sweep = _sweep(
+            {
+                "policy.kind": ["homogeneous", "full-diversity", "partial-diversity"],
+                "attack.size": [25.0, 100.0],
+            }
+        )
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        runner = SweepRunner(engine=engine, workers=1)
+        run = runner.run(sweep)
+
+        assert len(run.results) == 6
+        assert run.distinct_populations == 1
+        assert run.populations_generated == 1
+        assert run.populations_from_cache == 0
+        # Engine-level accounting and the raw generation call count agree.
+        assert engine.stats.generations == 1
+        assert len(counting_generation) == 1
+        assert [r.population_reused for r in run.results] == [False] + [True] * 5
+
+    def test_rerun_serves_population_from_cache(self, tmp_path, counting_generation):
+        sweep = _sweep({"policy.kind": ["homogeneous", "full-diversity"]})
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        runner = SweepRunner(engine=engine, workers=1)
+        runner.run(sweep)
+        second = runner.run(sweep)
+        assert second.populations_generated == 0
+        assert second.populations_from_cache == 1
+        assert len(counting_generation) == 1
+
+    def test_distinct_population_configs_each_generated(self, tmp_path, counting_generation):
+        sweep = _sweep(
+            {
+                "population.num_hosts": [6, 9],
+                "policy.kind": ["homogeneous", "full-diversity"],
+            }
+        )
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        run = SweepRunner(engine=engine, workers=1).run(sweep)
+        assert len(run.results) == 4
+        assert run.distinct_populations == 2
+        assert run.populations_generated == 2
+        assert len(counting_generation) == 2
+
+    def test_uncached_engine_still_deduplicates_in_memory(self, counting_generation):
+        sweep = _sweep({"policy.kind": ["homogeneous", "full-diversity"]})
+        engine = PopulationEngine(workers=1, use_cache=False)
+        run = SweepRunner(engine=engine, workers=1).run(sweep)
+        assert len(run.results) == 2
+        assert run.populations_generated == 1
+        assert len(counting_generation) == 1
+
+    def test_results_follow_sweep_order_and_metrics_are_sane(self, tmp_path):
+        sweep = _sweep({"attack.size": [10.0, 400.0]})
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        run = SweepRunner(engine=engine, workers=1).run(sweep)
+        names = [result.scenario.name for result in run.results]
+        assert names == ["test-sweep/size=10", "test-sweep/size=400"]
+        for result in run.results:
+            outcome = result.outcome
+            assert 0.0 <= outcome.mean_utility <= 1.0
+            assert 0.0 <= outcome.mean_f_measure <= 1.0
+            assert outcome.num_hosts == 8
+        # Bigger attacks are easier to detect.
+        small, big = run.results
+        assert big.outcome.mean_detection_rate >= small.outcome.mean_detection_rate
+
+    def test_progress_callback_streams_every_scenario(self, tmp_path):
+        sweep = _sweep({"policy.kind": ["homogeneous", "full-diversity"]})
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        seen = []
+        SweepRunner(engine=engine, workers=1).run(
+            sweep, progress=lambda done, total, result: seen.append((done, total))
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_parallel_evaluation_matches_serial(self, tmp_path):
+        sweep = _sweep({"policy.kind": ["homogeneous", "full-diversity"]})
+        serial_engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        serial = SweepRunner(engine=serial_engine, workers=1).run(sweep)
+        parallel_engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        parallel = SweepRunner(engine=parallel_engine, workers=2).run(sweep)
+        assert [r.outcome for r in parallel.results] == [r.outcome for r in serial.results]
+
+    def test_run_scenario_equals_runner_outcome(self, tmp_path):
+        sweep = _sweep({"attack.size": [60.0]})
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        run = SweepRunner(engine=engine, workers=1).run(sweep)
+        scenario = run.results[0].scenario
+        population = engine.generate(scenario.population.to_config())
+        assert run_scenario(scenario, population) == run.results[0].outcome
+
+    def test_store_appends_stream_per_scenario(self, tmp_path):
+        # An interrupted campaign must keep every completed scenario: the
+        # record lands in the store before the progress callback fires.
+        sweep = _sweep({"policy.kind": ["homogeneous", "full-diversity"]})
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        store = ResultStore(tmp_path / "results.jsonl")
+
+        def interrupt_after_first(done, total, result):
+            if done == 1:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(engine=engine, workers=1).run(
+                sweep, store=store, progress=interrupt_after_first
+            )
+        assert len(store.records()) == 1
+
+    def test_store_receives_one_record_per_scenario(self, tmp_path):
+        sweep = _sweep({"policy.kind": ["homogeneous", "full-diversity"]})
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        store = ResultStore(tmp_path / "results.jsonl")
+        SweepRunner(engine=engine, workers=1).run(sweep, store=store, run_id="run-1")
+        records = store.records()
+        assert len(records) == 2
+        assert all(record.run_id == "run-1" for record in records)
+        assert all(record.sweep == "test-sweep" for record in records)
+        assert all(record.schema == RESULT_SCHEMA_VERSION for record in records)
+        # Records are self-describing: the stored spec reloads and re-runs.
+        reloaded = records[0]
+        from repro.sweeps import ScenarioSpec
+
+        spec = ScenarioSpec.from_dict(reloaded.spec)
+        assert spec.name == reloaded.scenario
+
+
+class TestResultStore:
+    def _record(self, scenario="s1", kind="homogeneous", size=10.0, utility=0.5):
+        return ScenarioRecord(
+            sweep="sw",
+            scenario=scenario,
+            spec={"policy": {"kind": kind}, "attack": {"size": size}},
+            metrics={"mean_utility": utility, "total_false_alarms": 3},
+        )
+
+    def test_append_read_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "nested" / "store.jsonl")
+        record = self._record()
+        store.append(record)
+        store.append(self._record(scenario="s2"))
+        loaded = store.records()
+        assert len(loaded) == len(store) == 2
+        assert loaded[0] == record
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        payload = self._record().to_dict()
+        payload["schema"] = RESULT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload) + "\n")
+        with pytest.raises(ValidationError, match="newer than supported"):
+            ResultStore(path).records()
+
+    def test_corrupt_line_rejected_with_location(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(json.dumps(self._record().to_dict()) + "\nnot json\n")
+        with pytest.raises(ValidationError, match="2: not valid JSON"):
+            ResultStore(path).records()
+
+    def test_value_lookup(self):
+        record = self._record()
+        assert record.value("mean_utility") == 0.5
+        assert record.value("scenario") == "s1"
+        assert record.value("spec.policy.kind") == "homogeneous"
+        with pytest.raises(ValidationError, match="no field"):
+            record.value("spec.policy.missing")
+
+    def test_aggregate_and_pivot(self):
+        records = [
+            self._record(scenario="a", kind="homogeneous", size=10.0, utility=0.4),
+            self._record(scenario="b", kind="homogeneous", size=20.0, utility=0.6),
+            self._record(scenario="c", kind="full-diversity", size=10.0, utility=0.8),
+            self._record(scenario="d", kind="full-diversity", size=20.0, utility=1.0),
+        ]
+        grouped = aggregate(records, group_by=["spec.policy.kind"], metric="mean_utility")
+        assert grouped == [(("homogeneous",), 0.5), (("full-diversity",), 0.9)]
+        headers, rows = pivot(
+            records, rows="spec.policy.kind", columns="spec.attack.size", metric="mean_utility"
+        )
+        assert headers == ["spec.policy.kind", "10.0", "20.0"]
+        assert rows == [["homogeneous", 0.4, 0.6], ["full-diversity", 0.8, 1.0]]
+
+    def test_comparison_table_renders_every_scenario(self):
+        records = [self._record(scenario="a"), self._record(scenario="b")]
+        text = comparison_table(records, metrics=["mean_utility", "total_false_alarms"])
+        assert "a" in text and "b" in text
+        assert "mean_utility" in text

@@ -1,0 +1,285 @@
+"""Tests for sweep/scenario specs: expansion, round trips, TOML I/O."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sweeps import (
+    ScenarioSpec,
+    SweepSpec,
+    builtin_sweep_names,
+    builtin_sweeps,
+    derive_scenario_seed,
+    load_builtin,
+)
+from repro.sweeps import toml_io
+from repro.sweeps.spec import PopulationSpec
+from repro.utils.validation import ValidationError
+
+# ---------------------------------------------------------------- strategies
+
+_AXIS_POOLS = {
+    "population.num_hosts": st.integers(1, 60),
+    "population.seed": st.integers(0, 2**20),
+    "attack.size": st.floats(0.0, 1000.0, allow_nan=False, allow_infinity=False),
+    "evaluation.utility_weight": st.floats(0.0, 1.0, allow_nan=False),
+    "policy.percentile": st.floats(1.0, 99.0, allow_nan=False),
+    "policy.kind": st.sampled_from(
+        ["homogeneous", "full-diversity", "partial-diversity"]
+    ),
+}
+
+
+@st.composite
+def axes_mappings(draw):
+    paths = draw(
+        st.lists(st.sampled_from(sorted(_AXIS_POOLS)), unique=True, min_size=1, max_size=3)
+    )
+    axes = {}
+    for path in paths:
+        axes[path] = draw(
+            st.lists(_AXIS_POOLS[path], unique=True, min_size=1, max_size=4)
+        )
+    return axes
+
+
+@st.composite
+def sweep_specs(draw):
+    axes = draw(axes_mappings())
+    description = draw(
+        st.text(
+            alphabet=st.sampled_from('abz019 _-."\\[]#=\t'),
+            max_size=20,
+        )
+    )
+    return SweepSpec.from_dict(
+        {
+            "sweep": {
+                "name": draw(st.sampled_from(["sweep-a", "s1", "x_y"])),
+                "description": description,
+                "mode": "grid",
+                "seed": draw(st.integers(0, 2**20)),
+                "seed_mode": draw(st.sampled_from(["fixed", "derived"])),
+            },
+            "scenario": {"name": "base", "population": {"num_hosts": 10, "num_weeks": 2}},
+            "axes": axes,
+        }
+    )
+
+
+# ------------------------------------------------------------ property tests
+
+
+class TestExpansionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(sweep_specs())
+    def test_grid_expansion_count_is_axis_size_product(self, sweep):
+        expected = math.prod(len(values) for _, values in sweep.axes)
+        assert len(sweep.expand()) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(sweep_specs())
+    def test_expanded_scenarios_unique_and_deterministic(self, sweep):
+        first = sweep.expand()
+        second = sweep.expand()
+        assert first == second
+        names = [scenario.name for scenario in first]
+        assert len(set(names)) == len(names)
+        assert len(set(first)) == len(first)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sweep_specs())
+    def test_dict_round_trip_is_exact(self, sweep):
+        assert SweepSpec.from_dict(sweep.to_dict()) == sweep
+        assert SweepSpec.from_dict(sweep.to_dict()).to_dict() == sweep.to_dict()
+
+    @settings(max_examples=60, deadline=None)
+    @given(sweep_specs())
+    def test_toml_round_trip_is_exact(self, sweep):
+        assert SweepSpec.from_toml(sweep.to_toml()) == sweep
+
+    @settings(max_examples=60, deadline=None)
+    @given(sweep_specs())
+    def test_fallback_toml_parser_matches_stdlib(self, sweep):
+        if not toml_io.stdlib_parser_available():  # pragma: no cover
+            pytest.skip("stdlib tomllib unavailable")
+        text = sweep.to_toml()
+        assert toml_io.mini_loads(text) == toml_io.loads(text)
+
+
+class TestExpansionSemantics:
+    def test_zip_mode_pairs_axes(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "z", "mode": "zip"},
+                "scenario": {"population": {"num_hosts": 8, "num_weeks": 2}},
+                "axes": {
+                    "attack.size": [10.0, 20.0, 30.0],
+                    "policy.kind": ["homogeneous", "full-diversity", "partial-diversity"],
+                },
+            }
+        )
+        scenarios = sweep.expand()
+        assert len(scenarios) == 3
+        assert [s.attack.size for s in scenarios] == [10.0, 20.0, 30.0]
+        assert [s.policy.kind for s in scenarios] == [
+            "homogeneous",
+            "full-diversity",
+            "partial-diversity",
+        ]
+
+    def test_zip_mode_rejects_unequal_axes(self):
+        with pytest.raises(ValidationError, match="equal-length"):
+            SweepSpec.from_dict(
+                {
+                    "sweep": {"name": "z", "mode": "zip"},
+                    "scenario": {},
+                    "axes": {"attack.size": [1.0, 2.0], "policy.kind": ["homogeneous"]},
+                }
+            )
+
+    def test_unknown_axis_path_rejected_at_load(self):
+        with pytest.raises(ValidationError, match="unknown axis path"):
+            SweepSpec.from_dict(
+                {"sweep": {"name": "s"}, "scenario": {}, "axes": {"policy.nope": [1]}}
+            )
+
+    def test_unknown_scenario_field_rejected(self):
+        with pytest.raises(ValidationError, match="unknown field"):
+            ScenarioSpec.from_dict({"policy": {"kindd": "homogeneous"}})
+
+    def test_bad_feature_rejected(self):
+        with pytest.raises(ValidationError, match="evaluation.feature"):
+            ScenarioSpec.from_dict({"evaluation": {"feature": "num_quic_connections"}})
+
+    def test_test_week_must_fit_population(self):
+        with pytest.raises(ValidationError, match="train/test weeks"):
+            ScenarioSpec.from_dict(
+                {"population": {"num_weeks": 1}, "evaluation": {"train_week": 0, "test_week": 1}}
+            )
+
+    def test_axis_values_survive_into_scenarios(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "g"},
+                "scenario": {"population": {"num_hosts": 8, "num_weeks": 2}},
+                "axes": {"population.num_hosts": [4, 6], "attack.size": [7.0]},
+            }
+        )
+        scenarios = sweep.expand()
+        assert [(s.population.num_hosts, s.attack.size) for s in scenarios] == [
+            (4, 7.0),
+            (6, 7.0),
+        ]
+
+
+class TestSeedDerivation:
+    def test_derived_seeds_shared_by_identical_populations(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "d", "seed": 7, "seed_mode": "derived"},
+                "scenario": {"population": {"num_hosts": 8, "num_weeks": 2}},
+                "axes": {
+                    "policy.kind": ["homogeneous", "full-diversity"],
+                    "population.num_hosts": [8, 16],
+                },
+            }
+        )
+        scenarios = sweep.expand()
+        seeds = {}
+        for scenario in scenarios:
+            seeds.setdefault(scenario.population.num_hosts, set()).add(
+                scenario.population.seed
+            )
+        # One seed per population size, shared across the policy axis.
+        assert all(len(values) == 1 for values in seeds.values())
+        assert seeds[8] != seeds[16]
+
+    def test_derivation_is_deterministic_and_sweep_seed_sensitive(self):
+        population = PopulationSpec(num_hosts=8, num_weeks=2)
+        assert derive_scenario_seed(1, population) == derive_scenario_seed(1, population)
+        assert derive_scenario_seed(1, population) != derive_scenario_seed(2, population)
+        # The population's own seed does not feed the derivation.
+        assert derive_scenario_seed(1, replace(population, seed=123)) == derive_scenario_seed(
+            1, population
+        )
+
+    def test_explicit_seed_axis_wins_over_derivation(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "d", "seed_mode": "derived"},
+                "scenario": {"population": {"num_hosts": 8, "num_weeks": 2}},
+                "axes": {"population.seed": [41, 42]},
+            }
+        )
+        assert [s.population.seed for s in sweep.expand()] == [41, 42]
+
+
+class TestBuiltinCatalog:
+    def test_catalog_names(self):
+        assert builtin_sweep_names() == [
+            "attack-intensity",
+            "enterprise-scaling",
+            "policy-grid",
+            "storm-replay",
+        ]
+
+    def test_every_builtin_expands_and_round_trips(self):
+        for name, sweep in builtin_sweeps().items():
+            scenarios = sweep.expand()
+            assert len(scenarios) >= 12, name
+            assert SweepSpec.from_toml(sweep.to_toml()) == sweep
+
+    def test_load_builtin_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown built-in sweep"):
+            load_builtin("no-such-sweep")
+
+    def test_packaged_files_parse_identically_with_fallback_parser(self):
+        if not toml_io.stdlib_parser_available():  # pragma: no cover
+            pytest.skip("stdlib tomllib unavailable")
+        from importlib import resources
+
+        root = resources.files("repro.sweeps") / "library"
+        checked = 0
+        for entry in root.iterdir():
+            if entry.name.endswith(".toml"):
+                text = entry.read_text(encoding="utf-8")
+                assert toml_io.mini_loads(text) == toml_io.loads(text), entry.name
+                checked += 1
+        assert checked >= 4
+
+
+class TestTomlIO:
+    def test_writer_quotes_dotted_keys(self):
+        text = toml_io.dumps({"axes": {"policy.kind": ["a"]}})
+        assert '"policy.kind"' in text
+        assert toml_io.loads(text) == {"axes": {"policy.kind": ["a"]}}
+
+    def test_mini_parser_rejects_garbage(self):
+        for bad in ["just text", "[unclosed", 'key = "unterminated', "a = [1, 2"]:
+            with pytest.raises(ValidationError):
+                toml_io.mini_loads(bad)
+
+    def test_mini_parser_handles_comments_and_multiline_arrays(self):
+        text = '# header\nvalues = [1,  # inline\n  2, 3]\nname = "a#b"  # trailing\n'
+        assert toml_io.mini_loads(text) == {"values": [1, 2, 3], "name": "a#b"}
+
+    def test_mini_parser_resolves_dotted_keys_relative_to_section(self):
+        # TOML semantics: dotted keys nest under the current [section].
+        text = "[scenario]\npopulation.num_hosts = 50\n"
+        expected = {"scenario": {"population": {"num_hosts": 50}}}
+        assert toml_io.mini_loads(text) == expected
+        if toml_io.stdlib_parser_available():
+            assert toml_io.loads(text) == expected
+
+    def test_floats_survive_as_floats(self):
+        data = {"x": {"a": 1.0, "b": 2, "c": [0.5, 1e-12]}}
+        assert toml_io.loads(toml_io.dumps(data)) == data
+        parsed = toml_io.loads(toml_io.dumps(data))
+        assert isinstance(parsed["x"]["a"], float)
+        assert isinstance(parsed["x"]["b"], int)
