@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import run_once
-from repro.core.evaluation import EvaluationProtocol, evaluate_policy_on_feature
+from repro.core.evaluation import DetectionProtocol, evaluate_policy
 from repro.core.policies import FullDiversityPolicy, PartialDiversityPolicy
 from repro.core.thresholds import PercentileHeuristic
 from repro.experiments.report import render_table
@@ -17,13 +17,13 @@ from repro.workload.enterprise import EnterpriseConfig, generate_enterprise
 def test_bench_ablation_partial_group_count(benchmark, bench_population):
     """How close partial diversity gets to full diversity as groups increase (2/4/8)."""
     matrices = bench_population.matrices()
-    protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS)
+    protocol = DetectionProtocol(features=(Feature.TCP_CONNECTIONS,))
 
     def sweep():
-        reference = evaluate_policy_on_feature(matrices, FullDiversityPolicy(), protocol)
+        reference = evaluate_policy(matrices, FullDiversityPolicy(), protocol)
         rows = []
         for groups in (2, 4, 8):
-            evaluation = evaluate_policy_on_feature(
+            evaluation = evaluate_policy(
                 matrices, PartialDiversityPolicy(num_groups=groups), protocol
             )
             rows.append([groups, evaluation.total_false_alarms(), evaluation.mean_utility()])
@@ -80,13 +80,13 @@ def test_bench_ablation_kmeans_grouping(benchmark, bench_population):
 def test_bench_ablation_threshold_percentile(benchmark, bench_population):
     """99th vs 99.9th percentile heuristic: alarm volume vs detection trade-off."""
     matrices = bench_population.matrices()
-    protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS)
+    protocol = DetectionProtocol(features=(Feature.TCP_CONNECTIONS,))
 
     def run():
         rows = []
         for percentile in (99.0, 99.9):
             policy = FullDiversityPolicy(PercentileHeuristic(percentile))
-            evaluation = evaluate_policy_on_feature(matrices, policy, protocol)
+            evaluation = evaluate_policy(matrices, policy, protocol)
             rows.append([percentile, evaluation.total_false_alarms()])
         return rows
 
@@ -107,8 +107,8 @@ def test_bench_ablation_stationary_population(benchmark):
             )
             population = generate_enterprise(config)
             matrices = population.matrices()
-            protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS)
-            evaluation = evaluate_policy_on_feature(matrices, FullDiversityPolicy(), protocol)
+            protocol = DetectionProtocol(features=(Feature.TCP_CONNECTIONS,))
+            evaluation = evaluate_policy(matrices, FullDiversityPolicy(), protocol)
             rows.append([f"drift={drift:g} maint={maintenance}", evaluation.total_false_alarms()])
         return rows
 

@@ -1,0 +1,21 @@
+"""Repo-root conftest: put ``src/`` on ``sys.path`` for every pytest entry.
+
+``pyproject.toml``'s ``filterwarnings`` names
+``repro.utils.deprecation.ReproDeprecationWarning``, which pytest imports
+when it applies the filter around each test.  The tests/ and benchmarks/
+conftests extend ``sys.path`` for their own trees; this shim guarantees the
+module is importable no matter which subset of tests is collected from an
+uninstalled checkout, so the deprecations-are-errors policy is always in
+force.  (pytest also validates the filter once at config time, before any
+conftest loads — from an uninstalled checkout that pre-check emits a benign
+``PytestConfigWarning``; the enforcement itself is unaffected.)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

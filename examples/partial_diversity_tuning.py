@@ -25,7 +25,7 @@ import numpy as np
 
 from repro import Feature, quick_population
 from repro.attacks.naive import NaiveAttacker
-from repro.core.evaluation import EvaluationProtocol, evaluate_policy_on_feature
+from repro.core.evaluation import DetectionProtocol, evaluate_policy
 from repro.core.policies import FullDiversityPolicy, HomogeneousPolicy, PartialDiversityPolicy
 from repro.engine import PopulationEngine
 from repro.experiments.report import render_table
@@ -60,7 +60,7 @@ def main() -> None:
         num_hosts=args.hosts, num_weeks=2, seed=args.seed, engine=engine
     )
     matrices = population.matrices()
-    protocol = EvaluationProtocol(feature=feature)
+    protocol = DetectionProtocol(features=(feature,))
 
     def attack_builder(host_id, matrix):
         return NaiveAttacker(feature=feature, attack_size=args.attack_size).build(
@@ -73,7 +73,7 @@ def main() -> None:
 
     rows = []
     for label, policy in policies:
-        evaluation = evaluate_policy_on_feature(matrices, policy, protocol, attack_builder=attack_builder)
+        evaluation = evaluate_policy(matrices, policy, protocol, attack_builder=attack_builder)
         rows.append(
             [
                 label,

@@ -31,12 +31,14 @@ from repro.core.grouping import (
 )
 from repro.core.policies import (
     ConfigurationPolicy,
+    DetectionAssignment,
     FullDiversityPolicy,
     HomogeneousPolicy,
     PartialDiversityPolicy,
     ThresholdAssignment,
 )
 from repro.core.detector import Alert, ThresholdDetector
+from repro.core.fusion import FUSION_RULES, FusionRule
 from repro.core.hids import AlertBatch, HIDSAgent, HIDSConfiguration
 from repro.core.console import CentralConsole, ConsoleReport
 from repro.core.metrics import (
@@ -46,10 +48,14 @@ from repro.core.metrics import (
     utility,
 )
 from repro.core.evaluation import (
+    DetectionProtocol,
     EvaluationProtocol,
     HostPerformance,
     PolicyEvaluation,
+    detection_training_distributions,
+    evaluate_policy,
     evaluate_policy_on_feature,
+    training_distributions,
     weekly_train_test_pairs,
 )
 from repro.core.experiment import ExperimentContext, PolicyComparison, build_context
@@ -82,10 +88,17 @@ __all__ = [
     "utility",
     "f_measure",
     "precision_recall",
+    "FusionRule",
+    "FUSION_RULES",
+    "DetectionAssignment",
+    "DetectionProtocol",
     "EvaluationProtocol",
     "HostPerformance",
     "PolicyEvaluation",
+    "evaluate_policy",
     "evaluate_policy_on_feature",
+    "training_distributions",
+    "detection_training_distributions",
     "weekly_train_test_pairs",
     "ExperimentContext",
     "PolicyComparison",

@@ -10,9 +10,10 @@ partial diversity) and pushes threshold configurations back out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.detector import Alert
+from repro.core.fusion import FusionRule
 from repro.core.hids import AlertBatch, HIDSConfiguration
 from repro.features.definitions import Feature
 from repro.utils.timeutils import WEEK
@@ -134,6 +135,45 @@ class CentralConsole:
             alerts_per_host=per_host,
             duration=duration,
         )
+
+    # ---------------------------------------------------------------- fusion
+    def fused_incidents(
+        self, fusion: FusionRule, num_features: int
+    ) -> Dict[Tuple[int, int], Tuple[Feature, ...]]:
+        """Per-(host, bin) fused incidents among the received alerts.
+
+        Received alerts are grouped by ``(host_id, bin_index)``; a group
+        becomes a fused *incident* when the number of distinct alerting
+        features reaches ``fusion.required_votes(num_features)``.  This is
+        the console-side triage view of multi-feature agents: under
+        ``all``/``k_of_n`` fusion IT staff investigate corroborated bins
+        only, shrinking the Table 3 alarm volume.
+
+        Returns the alerting features of every incident, keyed by
+        ``(host_id, bin_index)``.
+        """
+        votes: Dict[Tuple[int, int], Set[Feature]] = {}
+        for alert in self._alerts:
+            votes.setdefault((alert.host_id, alert.bin_index), set()).add(alert.feature)
+        required = fusion.required_votes(num_features)
+        return {
+            key: tuple(sorted(features, key=lambda feature: feature.value))
+            for key, features in sorted(votes.items())
+            if len(features) >= required
+        }
+
+    def fused_incident_count(self, fusion: FusionRule, num_features: int) -> int:
+        """Number of fused incidents among the received alerts."""
+        return len(self.fused_incidents(fusion, num_features))
+
+    def fused_incidents_per_host(
+        self, fusion: FusionRule, num_features: int
+    ) -> Dict[int, int]:
+        """Fused incident counts per host (the fused analogue of Table 3)."""
+        per_host: Dict[int, int] = {}
+        for host_id, _bin_index in self.fused_incidents(fusion, num_features):
+            per_host[host_id] = per_host.get(host_id, 0) + 1
+        return per_host
 
     def reset(self) -> None:
         """Clear all received alerts and batches (start of a new test period)."""

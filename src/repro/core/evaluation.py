@@ -1,4 +1,4 @@
-"""Policy evaluation: the paper's weekly train/test protocol.
+"""Policy evaluation: the paper's weekly train/test protocol, feature-set first.
 
 Thresholds are learned on one week of data and applied to the next (week 1
 trains week 2, week 3 trains week 4).  On the test week the harness measures,
@@ -7,40 +7,68 @@ overlaid — the false-negative rate on attacked bins, then condenses the pair
 into the per-host utility.  Aggregates across the population (mean utility,
 alarm volume at the console, fraction of hosts raising an alarm) feed the
 figure and table reproductions.
+
+The evaluation API is built around feature *sets*: a
+:class:`DetectionProtocol` names the monitored features and the
+:class:`~repro.core.fusion.FusionRule` combining their per-bin alert
+indicators, and :func:`evaluate_policy` measures both the per-feature
+operating points and the fused per-host (FP, FN)/utility.  The deprecated
+single-feature entry points (:func:`EvaluationProtocol`,
+:func:`evaluate_policy_on_feature`) are thin shims over the feature-set API;
+a one-feature protocol with any fusion rule reproduces the legacy numbers
+bit for bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.attacks.base import AttackTrace
-from repro.attacks.injection import inject_attack
+from repro.attacks.injection import InjectedSeries, inject_attack
 from repro.core.detector import ThresholdDetector
+from repro.core.fusion import FusionRule
 from repro.core.metrics import DEFAULT_UTILITY_WEIGHT, OperatingPoint
-from repro.core.policies import ConfigurationPolicy, ThresholdAssignment
+from repro.core.policies import ConfigurationPolicy, DetectionAssignment
 from repro.core.thresholds import DEFAULT_PERCENTILE
 from repro.features.definitions import Feature
-from repro.features.timeseries import FeatureMatrix
+from repro.features.timeseries import FeatureMatrix, TimeSeries
 from repro.stats.empirical import EmpiricalDistribution
 from repro.stats.summary import SummaryStatistics, summarize
+from repro.utils.deprecation import warn_deprecated
 from repro.utils.timeutils import WEEK
 from repro.utils.validation import require, require_probability
 
-#: Signature of a per-host attack builder used during evaluation.
+#: Signature of a per-host attack builder used during evaluation (legacy,
+#: two-argument form; still accepted everywhere).
 AttackBuilder = Callable[[int, FeatureMatrix], Optional[AttackTrace]]
+
+#: Signature of a threshold-aware per-host attack builder: receives the host
+#: id, its test-week matrix and the per-feature thresholds in force (which is
+#: how the mimicry attacker learns the threshold it must stay under).
+DetectionAttackBuilder = Callable[
+    [int, FeatureMatrix, Mapping[Feature, float]], Optional[AttackTrace]
+]
 
 
 @dataclass(frozen=True)
-class EvaluationProtocol:
-    """Parameters of one train/test evaluation run.
+class DetectionProtocol:
+    """Parameters of one train/test evaluation run over a feature set.
 
     Attributes
     ----------
-    feature:
-        The feature being configured and evaluated.
+    features:
+        The monitored features, in evaluation order.  A single
+        :class:`Feature` or any iterable of features is accepted and
+        normalised to a tuple.
+    fusion:
+        The :class:`~repro.core.fusion.FusionRule` combining the per-feature
+        alert indicators of each bin into the fused alarm.  The default
+        (``any``) makes a one-feature protocol exactly the legacy
+        single-feature evaluation.
     train_week, test_week:
         0-based week indices for learning and applying thresholds.
     utility_weight:
@@ -59,7 +87,8 @@ class EvaluationProtocol:
         rates are always measured over every bin.
     """
 
-    feature: Feature
+    features: Tuple[Feature, ...]
+    fusion: FusionRule = field(default_factory=FusionRule)
     train_week: int = 0
     test_week: int = 1
     utility_weight: float = DEFAULT_UTILITY_WEIGHT
@@ -67,10 +96,67 @@ class EvaluationProtocol:
     train_on_active_bins: bool = True
 
     def __post_init__(self) -> None:
+        features = self.features
+        if isinstance(features, Feature):
+            features = (features,)
+        features = tuple(features)
+        object.__setattr__(self, "features", features)
+        require(len(features) > 0, "protocol must monitor at least one feature")
+        require(all(isinstance(f, Feature) for f in features), "features must be Feature members")
+        require(len(set(features)) == len(features), "features must be distinct")
+        require(isinstance(self.fusion, FusionRule), "fusion must be a FusionRule")
         require(self.train_week >= 0, "train_week must be non-negative")
         require(self.test_week >= 0, "test_week must be non-negative")
         require(self.train_week != self.test_week, "train and test weeks must differ")
         require_probability(self.utility_weight, "utility_weight")
+
+    @property
+    def num_features(self) -> int:
+        """Number of monitored features."""
+        return len(self.features)
+
+    @property
+    def primary_feature(self) -> Feature:
+        """The first monitored feature (the attack's default target)."""
+        return self.features[0]
+
+    @property
+    def feature(self) -> Feature:
+        """Single-feature convenience accessor (legacy call sites)."""
+        require(
+            len(self.features) == 1,
+            "protocol.feature is only defined for single-feature protocols; use .features",
+        )
+        return self.features[0]
+
+
+def EvaluationProtocol(
+    feature: Feature,
+    train_week: int = 0,
+    test_week: int = 1,
+    utility_weight: float = DEFAULT_UTILITY_WEIGHT,
+    grouping_statistic_percentile: float = DEFAULT_PERCENTILE,
+    train_on_active_bins: bool = True,
+) -> DetectionProtocol:
+    """Deprecated: build a single-feature :class:`DetectionProtocol`.
+
+    ``EvaluationProtocol(feature=f, ...)`` is the pre-feature-set API; it now
+    returns ``DetectionProtocol(features=(f,), fusion=FusionRule.any_())``,
+    which evaluates bit-identically to the legacy single-feature path.
+    """
+    warn_deprecated(
+        "EvaluationProtocol is deprecated; use "
+        "DetectionProtocol(features=[...], fusion=FusionRule...) instead"
+    )
+    return DetectionProtocol(
+        features=(feature,),
+        fusion=FusionRule.any_(),
+        train_week=train_week,
+        test_week=test_week,
+        utility_weight=utility_weight,
+        grouping_statistic_percentile=grouping_statistic_percentile,
+        train_on_active_bins=train_on_active_bins,
+    )
 
 
 def weekly_train_test_pairs(num_weeks: int, overlapping: bool = False) -> List[Tuple[int, int]]:
@@ -89,56 +175,101 @@ def weekly_train_test_pairs(num_weeks: int, overlapping: bool = False) -> List[T
 class HostPerformance:
     """One host's measured performance under a policy on the test week.
 
+    The per-feature view carries one operating point per monitored feature;
+    the fused view applies the protocol's fusion rule to each bin's
+    per-feature alert indicators and measures (FP, FN) on the fused alarms.
+    For a single-feature protocol the two views coincide exactly.
+
     Attributes
     ----------
     host_id:
         The evaluated host.
-    threshold:
-        The threshold the policy assigned to this host.
+    thresholds:
+        The per-feature thresholds the policy assigned to this host.
+    feature_operating_points:
+        Measured per-feature (FP, FN) on the test week.
+    feature_false_alarm_counts:
+        Benign test bins raising a per-feature alert, per feature.
+    feature_alarm_raised:
+        Per-feature detection indicator: True when at least one bin attacked
+        *in that feature* exceeded its threshold, False when attacked but
+        never detected, None when that feature carried no attack traffic.
     operating_point:
-        Measured (FP, FN) on the test week.
+        Fused (FP, FN) on the test week.
     false_alarm_count:
-        Number of benign test bins that raised an alarm (Table 3's raw
+        Number of benign test bins raising the *fused* alarm (Table 3's raw
         ingredient).
     alarm_raised:
-        True when at least one *attacked* bin exceeded the threshold
+        True when at least one attacked bin raised the fused alarm
         (Figure 4(a)'s per-host indicator); False when an attack was present
         but never detected; None when no attack was overlaid.
     """
 
     host_id: int
-    threshold: float
+    thresholds: Mapping[Feature, float]
+    feature_operating_points: Mapping[Feature, OperatingPoint]
+    feature_false_alarm_counts: Mapping[Feature, int]
     operating_point: OperatingPoint
     false_alarm_count: int
     alarm_raised: Optional[bool] = None
+    feature_alarm_raised: Mapping[Feature, Optional[bool]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require(len(self.thresholds) > 0, "performance must cover at least one feature")
+        require(
+            set(self.thresholds) == set(self.feature_operating_points),
+            "thresholds and per-feature operating points must cover the same features",
+        )
+
+    @property
+    def features(self) -> Tuple[Feature, ...]:
+        """Monitored features."""
+        return tuple(self.thresholds)
+
+    @property
+    def threshold(self) -> float:
+        """Single-feature convenience: the only threshold in force."""
+        require(
+            len(self.thresholds) == 1,
+            "performance.threshold is only defined for single-feature protocols; use .thresholds",
+        )
+        return float(next(iter(self.thresholds.values())))
+
+    def threshold_of(self, feature: Feature) -> float:
+        """Threshold in force for ``feature``."""
+        return float(self.thresholds[feature])
+
+    def feature_point(self, feature: Feature) -> OperatingPoint:
+        """Per-feature operating point for ``feature``."""
+        return self.feature_operating_points[feature]
 
     @property
     def false_positive_rate(self) -> float:
-        """Benign-bin alarm rate."""
+        """Fused benign-bin alarm rate."""
         return self.operating_point.false_positive_rate
 
     @property
     def false_negative_rate(self) -> float:
-        """Missed-detection rate on attacked bins."""
+        """Fused missed-detection rate on attacked bins."""
         return self.operating_point.false_negative_rate
 
     @property
     def detection_rate(self) -> float:
-        """``1 - FN``."""
+        """``1 - FN`` of the fused alarm."""
         return self.operating_point.detection_rate
 
     def utility(self, weight: float = DEFAULT_UTILITY_WEIGHT) -> float:
-        """Per-host utility at ``weight``."""
+        """Per-host utility of the fused alarm at ``weight``."""
         return self.operating_point.utility(weight)
 
 
 @dataclass(frozen=True)
 class PolicyEvaluation:
-    """Population-wide outcome of evaluating one policy on one feature."""
+    """Population-wide outcome of evaluating one policy on one feature set."""
 
     policy_name: str
-    protocol: EvaluationProtocol
-    assignment: ThresholdAssignment
+    protocol: DetectionProtocol
+    assignment: DetectionAssignment
     performances: Mapping[int, HostPerformance]
 
     def __post_init__(self) -> None:
@@ -149,13 +280,18 @@ class PolicyEvaluation:
         """Evaluated hosts, sorted."""
         return tuple(sorted(self.performances))
 
+    @property
+    def features(self) -> Tuple[Feature, ...]:
+        """The evaluated feature set."""
+        return self.protocol.features
+
     def utilities(self, weight: Optional[float] = None) -> Dict[int, float]:
-        """Per-host utilities at ``weight`` (defaults to the protocol's weight)."""
+        """Per-host fused utilities at ``weight`` (defaults to the protocol's weight)."""
         w = weight if weight is not None else self.protocol.utility_weight
         return {host_id: perf.utility(w) for host_id, perf in self.performances.items()}
 
     def mean_utility(self, weight: Optional[float] = None) -> float:
-        """Average utility across the population (Figure 3(b)'s y-axis)."""
+        """Average fused utility across the population (Figure 3(b)'s y-axis)."""
         values = list(self.utilities(weight).values())
         return float(np.mean(values))
 
@@ -164,15 +300,21 @@ class PolicyEvaluation:
         return summarize(list(self.utilities(weight).values()))
 
     def false_positive_rates(self) -> Dict[int, float]:
-        """Per-host false-positive rates."""
+        """Per-host fused false-positive rates."""
         return {host_id: perf.false_positive_rate for host_id, perf in self.performances.items()}
 
     def detection_rates(self) -> Dict[int, float]:
-        """Per-host detection rates (1 - FN)."""
+        """Per-host fused detection rates (1 - FN)."""
         return {host_id: perf.detection_rate for host_id, perf in self.performances.items()}
 
+    def feature_operating_points(self, feature: Feature) -> Dict[int, OperatingPoint]:
+        """Per-host operating points of one feature's detector."""
+        return {
+            host_id: perf.feature_point(feature) for host_id, perf in self.performances.items()
+        }
+
     def total_false_alarms(self) -> int:
-        """Total benign alarms across the population on the test week."""
+        """Total fused benign alarms across the population on the test week."""
         return int(sum(perf.false_alarm_count for perf in self.performances.values()))
 
     def false_alarms_per_week(self) -> float:
@@ -181,7 +323,7 @@ class PolicyEvaluation:
         return self.total_false_alarms() * (WEEK / duration)
 
     def fraction_raising_alarm(self) -> float:
-        """Fraction of hosts that raised at least one alarm on attacked bins.
+        """Fraction of hosts whose fused alarm fired on at least one attacked bin.
 
         Only meaningful when an attack was overlaid; hosts with no attack are
         excluded from the denominator.
@@ -216,13 +358,77 @@ def training_distributions(
     return distributions
 
 
-def evaluate_policy_on_feature(
+def detection_training_distributions(
+    matrices: Mapping[int, FeatureMatrix],
+    features: Iterable[Feature],
+    week: int,
+    active_bins_only: bool = True,
+) -> Dict[Feature, Dict[int, EmpiricalDistribution]]:
+    """:func:`training_distributions` for every feature of a protocol."""
+    return {
+        feature: training_distributions(matrices, feature, week, active_bins_only)
+        for feature in features
+    }
+
+
+def _adapt_attack_builder(
+    builder: Optional[Union[AttackBuilder, DetectionAttackBuilder]],
+) -> Optional[DetectionAttackBuilder]:
+    """Normalise legacy two-argument attack builders onto the threshold-aware form."""
+    if builder is None:
+        return None
+    try:
+        parameters = list(inspect.signature(builder).parameters.values())
+    except (TypeError, ValueError):  # builtins / C callables: assume the new form
+        return builder
+    positional = [
+        p
+        for p in parameters
+        if p.kind in (inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+    ]
+    if len(positional) >= 3 or any(
+        p.kind == inspect.Parameter.VAR_POSITIONAL for p in parameters
+    ):
+        return builder
+    if any(
+        p.kind == inspect.Parameter.KEYWORD_ONLY and p.name == "thresholds"
+        for p in parameters
+    ):
+        # New-form builder declared as (host_id, matrix, *, thresholds).
+        def adapted_keyword(
+            host_id: int, matrix: FeatureMatrix, thresholds: Mapping[Feature, float]
+        ) -> Optional[AttackTrace]:
+            return builder(host_id, matrix, thresholds=thresholds)
+
+        return adapted_keyword
+
+    def adapted(
+        host_id: int, matrix: FeatureMatrix, thresholds: Mapping[Feature, float]
+    ) -> Optional[AttackTrace]:
+        return builder(host_id, matrix)
+
+    return adapted
+
+
+def _feature_injections(
+    attack: AttackTrace,
+    benign: Mapping[Feature, TimeSeries],
+) -> Dict[Feature, InjectedSeries]:
+    """Per-feature injected series for every evaluated feature the attack touches."""
+    injections: Dict[Feature, InjectedSeries] = {}
+    for feature, series in benign.items():
+        if feature in attack.features:
+            injections[feature] = inject_attack(series, attack, feature)
+    return injections
+
+
+def evaluate_policy(
     matrices: Mapping[int, FeatureMatrix],
     policy: ConfigurationPolicy,
-    protocol: EvaluationProtocol,
-    attack_builder: Optional[AttackBuilder] = None,
+    protocol: DetectionProtocol,
+    attack_builder: Optional[Union[AttackBuilder, DetectionAttackBuilder]] = None,
 ) -> PolicyEvaluation:
-    """Run the full train/test evaluation of ``policy`` for one feature.
+    """Run the full train/test evaluation of ``policy`` over a feature set.
 
     Parameters
     ----------
@@ -230,55 +436,107 @@ def evaluate_policy_on_feature(
         Per-host benign feature matrices covering at least
         ``max(train_week, test_week) + 1`` weeks.
     policy:
-        The configuration policy under evaluation.
+        The configuration policy under evaluation; its thresholds are
+        computed per feature from the same training week.
     protocol:
-        Train/test weeks, feature, and utility weight.
+        Train/test weeks, the feature set, the fusion rule and the utility
+        weight.
     attack_builder:
         Optional callable producing the attack trace to overlay on each
-        host's *test* week (receives the host id and its test-week matrix).
-        When None, only false positives are measured and the false-negative
-        rate is reported as 0.
+        host's *test* week.  Both the legacy ``(host_id, matrix)`` form and
+        the threshold-aware ``(host_id, matrix, thresholds)`` form are
+        accepted.  When None, only false positives are measured and the
+        false-negative rate is reported as 0.
     """
     require(len(matrices) > 0, "matrices must cover at least one host")
-    feature = protocol.feature
+    features = protocol.features
+    fusion = protocol.fusion
+    builder = _adapt_attack_builder(attack_builder)
 
-    train_dists = training_distributions(
-        matrices, feature, protocol.train_week, active_bins_only=protocol.train_on_active_bins
+    training = detection_training_distributions(
+        matrices, features, protocol.train_week, active_bins_only=protocol.train_on_active_bins
     )
-    assignment = policy.compute_thresholds(
-        train_dists, grouping_statistic_percentile=protocol.grouping_statistic_percentile
+    assignment = policy.assign(
+        training, grouping_statistic_percentile=protocol.grouping_statistic_percentile
     )
 
     performances: Dict[int, HostPerformance] = {}
     for host_id, matrix in matrices.items():
-        threshold = assignment.threshold_of(host_id)
-        detector = ThresholdDetector(host_id=host_id, feature=feature, threshold=threshold)
+        thresholds = {
+            feature: assignment.for_feature(feature).threshold_of(host_id)
+            for feature in features
+        }
+        detectors = {
+            feature: ThresholdDetector(host_id=host_id, feature=feature, threshold=thresholds[feature])
+            for feature in features
+        }
         test_matrix = matrix.week(protocol.test_week)
-        benign_series = test_matrix.series(feature)
+        benign = {feature: test_matrix.series(feature) for feature in features}
 
-        false_alarm_count = detector.alarm_count(benign_series)
-        false_positive_rate = detector.false_positive_rate(benign_series)
+        feature_counts = {
+            feature: detectors[feature].alarm_count(benign[feature]) for feature in features
+        }
+        feature_fp = {
+            feature: detectors[feature].false_positive_rate(benign[feature])
+            for feature in features
+        }
 
-        false_negative_rate = 0.0
+        feature_fn: Dict[Feature, float] = {feature: 0.0 for feature in features}
+        feature_alarm: Dict[Feature, Optional[bool]] = {feature: None for feature in features}
+        fused_fn = 0.0
         alarm_raised: Optional[bool] = None
-        if attack_builder is not None:
-            attack = attack_builder(host_id, test_matrix)
+        injections: Dict[Feature, InjectedSeries] = {}
+        if builder is not None:
+            attack = builder(host_id, test_matrix, thresholds)
             if attack is not None:
-                injected = inject_attack(benign_series, attack, feature)
-                false_negative_rate = detector.false_negative_rate(
-                    benign_series, injected.attack_amounts
-                )
-                if injected.num_attack_bins > 0:
-                    alarm_raised = false_negative_rate < 1.0
+                injections = _feature_injections(attack, benign)
+                for feature, injected in injections.items():
+                    feature_fn[feature] = detectors[feature].false_negative_rate(
+                        benign[feature], injected.attack_amounts
+                    )
+                    if injected.num_attack_bins > 0:
+                        feature_alarm[feature] = feature_fn[feature] < 1.0
+                if len(features) > 1:
+                    fused_fn, alarm_raised = _fused_false_negative_rate(
+                        features, fusion, thresholds, benign, injections
+                    )
+
+        if len(features) == 1:
+            # Bit-identical legacy path: the fused view of one feature IS the
+            # per-feature view (any fusion rule needs exactly 1 vote of 1).
+            only = features[0]
+            fused_point = OperatingPoint(
+                false_positive_rate=feature_fp[only], false_negative_rate=feature_fn[only]
+            )
+            fused_count = feature_counts[only]
+            alarm_raised = feature_alarm[only]
+            fused_fn = feature_fn[only]
+        else:
+            benign_indicators = np.stack(
+                [np.asarray(benign[feature].values) > thresholds[feature] for feature in features]
+            )
+            fused_benign = fusion.fuse(benign_indicators)
+            fused_count = int(np.count_nonzero(fused_benign))
+            fused_point = OperatingPoint(
+                false_positive_rate=float(fused_count) / benign[features[0]].num_bins,
+                false_negative_rate=fused_fn,
+            )
+
         performances[host_id] = HostPerformance(
             host_id=host_id,
-            threshold=threshold,
-            operating_point=OperatingPoint(
-                false_positive_rate=false_positive_rate,
-                false_negative_rate=false_negative_rate,
-            ),
-            false_alarm_count=false_alarm_count,
+            thresholds=thresholds,
+            feature_operating_points={
+                feature: OperatingPoint(
+                    false_positive_rate=feature_fp[feature],
+                    false_negative_rate=feature_fn[feature],
+                )
+                for feature in features
+            },
+            feature_false_alarm_counts=feature_counts,
+            operating_point=fused_point,
+            false_alarm_count=fused_count,
             alarm_raised=alarm_raised,
+            feature_alarm_raised=feature_alarm,
         )
 
     return PolicyEvaluation(
@@ -287,3 +545,53 @@ def evaluate_policy_on_feature(
         assignment=assignment,
         performances=performances,
     )
+
+
+def _fused_false_negative_rate(
+    features: Tuple[Feature, ...],
+    fusion: FusionRule,
+    thresholds: Mapping[Feature, float],
+    benign: Mapping[Feature, TimeSeries],
+    injections: Mapping[Feature, InjectedSeries],
+) -> Tuple[float, Optional[bool]]:
+    """Fused (FN, alarm_raised) over the union of attacked bins.
+
+    A bin counts as attacked when *any* evaluated feature carries injected
+    traffic in it; each feature's indicator on such a bin reflects what its
+    detector observes there (benign + its own injection, if any).
+    """
+    if not injections:
+        return 0.0, None
+    union_mask = np.any(
+        np.stack([injected.attack_mask for injected in injections.values()]), axis=0
+    )
+    num_attacked = int(np.count_nonzero(union_mask))
+    if num_attacked == 0:
+        return 0.0, None
+    indicators = []
+    for feature in features:
+        if feature in injections:
+            observed = np.asarray(injections[feature].observed.values)
+        else:
+            observed = np.asarray(benign[feature].values)
+        indicators.append(observed > thresholds[feature])
+    fused = fusion.fuse(np.stack(indicators))
+    missed = int(np.count_nonzero(~fused[union_mask]))
+    fused_fn = float(missed) / num_attacked
+    return fused_fn, fused_fn < 1.0
+
+
+def evaluate_policy_on_feature(
+    matrices: Mapping[int, FeatureMatrix],
+    policy: ConfigurationPolicy,
+    protocol: DetectionProtocol,
+    attack_builder: Optional[Union[AttackBuilder, DetectionAttackBuilder]] = None,
+) -> PolicyEvaluation:
+    """Deprecated: the single-feature name for :func:`evaluate_policy`.
+
+    Retained as a shim for pre-feature-set callers; evaluates identically to
+    :func:`evaluate_policy` (which accepts single- and multi-feature
+    protocols alike).
+    """
+    warn_deprecated("evaluate_policy_on_feature is deprecated; use evaluate_policy instead")
+    return evaluate_policy(matrices, policy, protocol, attack_builder=attack_builder)

@@ -8,17 +8,19 @@ policies side by side under identical conditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.evaluation import (
     AttackBuilder,
-    EvaluationProtocol,
+    DetectionAttackBuilder,
+    DetectionProtocol,
     PolicyEvaluation,
-    evaluate_policy_on_feature,
+    evaluate_policy,
 )
+from repro.core.fusion import FusionRule
 from repro.core.metrics import f_measure_from_rates
 from repro.core.policies import (
     ConfigurationPolicy,
@@ -53,10 +55,25 @@ class ExperimentContext:
         """Per-host benign feature matrices."""
         return self.population.matrices()
 
-    def protocol(self, feature: Feature, utility_weight: float = 0.4) -> EvaluationProtocol:
-        """Build the default protocol for ``feature``."""
-        return EvaluationProtocol(
-            feature=feature,
+    def protocol(self, feature: Feature, utility_weight: float = 0.4) -> DetectionProtocol:
+        """Build the default single-feature protocol for ``feature``."""
+        return DetectionProtocol(
+            features=(feature,),
+            train_week=self.train_week,
+            test_week=self.test_week,
+            utility_weight=utility_weight,
+        )
+
+    def detection_protocol(
+        self,
+        features: Iterable[Feature],
+        fusion: Optional[FusionRule] = None,
+        utility_weight: float = 0.4,
+    ) -> DetectionProtocol:
+        """Build a multi-feature protocol with ``fusion`` (default ``any``)."""
+        return DetectionProtocol(
+            features=tuple(features),
+            fusion=fusion if fusion is not None else FusionRule.any_(),
             train_week=self.train_week,
             test_week=self.test_week,
             utility_weight=utility_weight,
@@ -95,8 +112,15 @@ class ScenarioOutcome:
     """Scalar summary of one policy/attack/population evaluation.
 
     This is the record shape the sweep machinery stores and compares: every
-    field is a plain number (or string), so outcomes serialise to JSON and
-    aggregate across arbitrarily many scenarios.
+    field is a plain number, string, or (for ``per_feature``) a flat mapping
+    of numbers, so outcomes serialise to JSON and aggregate across
+    arbitrarily many scenarios.
+
+    The headline metrics (``mean_utility`` ... ``distinct_thresholds``)
+    describe the *fused* alarm; ``per_feature`` carries the same aggregates
+    for each individual feature's detector.  For a single-feature scenario
+    the fused metrics equal that feature's metrics exactly (the legacy
+    shape).
     """
 
     policy_name: str
@@ -111,6 +135,9 @@ class ScenarioOutcome:
     total_false_alarms: int
     fraction_raising_alarm: float
     distinct_thresholds: int
+    fusion: str = "any"
+    num_features: int = 1
+    per_feature: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready mapping of every metric."""
@@ -127,12 +154,43 @@ class ScenarioOutcome:
             "total_false_alarms": self.total_false_alarms,
             "fraction_raising_alarm": self.fraction_raising_alarm,
             "distinct_thresholds": self.distinct_thresholds,
+            "fusion": self.fusion,
+            "num_features": self.num_features,
+            "per_feature": {name: dict(values) for name, values in self.per_feature.items()},
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioOutcome":
-        """Rebuild an outcome from :meth:`to_dict` output."""
-        return cls(**{key: data[key] for key in cls.__dataclass_fields__})
+        """Rebuild an outcome from :meth:`to_dict` output.
+
+        Fields absent from ``data`` (e.g. records written before the
+        feature-set redesign) fall back to their single-feature defaults.
+        """
+        kwargs = {key: data[key] for key in cls.__dataclass_fields__ if key in data}
+        return cls(**kwargs)
+
+
+def _aggregate_performances(
+    false_positive_rates: Sequence[float],
+    false_negative_rates: Sequence[float],
+    weight: float,
+    attack_prevalence: float,
+) -> Dict[str, float]:
+    """The shared (FP, FN) → aggregate-metric computation, fused or per feature."""
+    fp = np.asarray(false_positive_rates, dtype=float)
+    fn = np.asarray(false_negative_rates, dtype=float)
+    utilities = 1.0 - (weight * fn + (1.0 - weight) * fp)
+    f_measures = [
+        f_measure_from_rates(fp_i, fn_i, attack_prevalence) for fp_i, fn_i in zip(fp, fn)
+    ]
+    return {
+        "mean_utility": float(np.mean(utilities)),
+        "median_utility": float(np.median(utilities)),
+        "mean_false_positive_rate": float(np.mean(fp)),
+        "mean_false_negative_rate": float(np.mean(fn)),
+        "mean_detection_rate": float(np.mean(1.0 - fn)),
+        "mean_f_measure": float(np.mean(f_measures)),
+    }
 
 
 def summarize_scenario(
@@ -144,42 +202,66 @@ def summarize_scenario(
     traffic) converts each host's (FP, FN) operating point into an F-measure;
     the paper's other aggregates (mean/median utility, alarm volume, fraction
     of hosts raising an alarm, distinct threshold count) come straight from
-    the evaluation.
+    the evaluation.  The headline numbers summarise the fused alarm; the
+    ``per_feature`` table repeats them for every individual feature.
     """
     performances = evaluation.performances.values()
-    weight = evaluation.protocol.utility_weight
-    utilities = np.array([perf.utility(weight) for perf in performances])
-    f_measures = [
-        f_measure_from_rates(
-            perf.false_positive_rate, perf.false_negative_rate, attack_prevalence
+    protocol = evaluation.protocol
+    weight = protocol.utility_weight
+    fused = _aggregate_performances(
+        [perf.false_positive_rate for perf in performances],
+        [perf.false_negative_rate for perf in performances],
+        weight,
+        attack_prevalence,
+    )
+    per_feature: Dict[str, Dict[str, float]] = {}
+    for feature in protocol.features:
+        points = [perf.feature_point(feature) for perf in performances]
+        aggregates = _aggregate_performances(
+            [point.false_positive_rate for point in points],
+            [point.false_negative_rate for point in points],
+            weight,
+            attack_prevalence,
         )
-        for perf in performances
-    ]
+        aggregates["total_false_alarms"] = int(
+            sum(perf.feature_false_alarm_counts[feature] for perf in performances)
+        )
+        flags = [
+            perf.feature_alarm_raised.get(feature)
+            for perf in performances
+            if perf.feature_alarm_raised.get(feature) is not None
+        ]
+        aggregates["fraction_raising_alarm"] = (
+            float(np.mean([1.0 if flag else 0.0 for flag in flags])) if flags else 0.0
+        )
+        aggregates["distinct_thresholds"] = (
+            evaluation.assignment.for_feature(feature).distinct_threshold_count()
+        )
+        per_feature[feature.value] = aggregates
     return ScenarioOutcome(
         policy_name=evaluation.policy_name,
-        feature=evaluation.protocol.feature.value,
+        feature="+".join(feature.value for feature in protocol.features),
         num_hosts=len(evaluation.performances),
-        mean_utility=float(np.mean(utilities)),
-        median_utility=float(np.median(utilities)),
-        mean_false_positive_rate=float(
-            np.mean([perf.false_positive_rate for perf in performances])
-        ),
-        mean_false_negative_rate=float(
-            np.mean([perf.false_negative_rate for perf in performances])
-        ),
-        mean_detection_rate=float(np.mean([perf.detection_rate for perf in performances])),
-        mean_f_measure=float(np.mean(f_measures)),
+        mean_utility=fused["mean_utility"],
+        median_utility=fused["median_utility"],
+        mean_false_positive_rate=fused["mean_false_positive_rate"],
+        mean_false_negative_rate=fused["mean_false_negative_rate"],
+        mean_detection_rate=fused["mean_detection_rate"],
+        mean_f_measure=fused["mean_f_measure"],
         total_false_alarms=evaluation.total_false_alarms(),
         fraction_raising_alarm=evaluation.fraction_raising_alarm(),
         distinct_thresholds=evaluation.assignment.distinct_threshold_count(),
+        fusion=protocol.fusion.name,
+        num_features=protocol.num_features,
+        per_feature=per_feature,
     )
 
 
 def evaluate_scenario(
     population: EnterprisePopulation,
     policy: "ConfigurationPolicy",
-    protocol: EvaluationProtocol,
-    attack_builder: Optional[AttackBuilder] = None,
+    protocol: DetectionProtocol,
+    attack_builder: Optional[Union[AttackBuilder, DetectionAttackBuilder]] = None,
     attack_prevalence: float = 0.01,
 ) -> ScenarioOutcome:
     """Evaluate one policy on one population and return the scalar summary.
@@ -188,7 +270,7 @@ def evaluate_scenario(
     campaign driver) builds on: population in, one JSON-ready row of metrics
     out.
     """
-    evaluation = evaluate_policy_on_feature(
+    evaluation = evaluate_policy(
         population.matrices(), policy, protocol, attack_builder=attack_builder
     )
     return summarize_scenario(evaluation, attack_prevalence=attack_prevalence)
@@ -225,25 +307,33 @@ class PolicyComparison:
 
     def run(
         self,
-        feature: Feature,
+        feature: Union[Feature, DetectionProtocol],
         utility_weight: float = 0.4,
-        attack_builder: Optional[AttackBuilder] = None,
+        attack_builder: Optional[Union[AttackBuilder, DetectionAttackBuilder]] = None,
     ) -> Dict[str, PolicyEvaluation]:
-        """Evaluate every policy on ``feature`` and return results by policy name."""
-        protocol = self._context.protocol(feature, utility_weight)
+        """Evaluate every policy and return results by policy name.
+
+        ``feature`` accepts either a single :class:`Feature` (the protocol is
+        built with the context's train/test weeks) or a full
+        :class:`DetectionProtocol` for multi-feature/fused comparisons.
+        """
+        if isinstance(feature, DetectionProtocol):
+            protocol = feature
+        else:
+            protocol = self._context.protocol(feature, utility_weight)
         matrices = self._context.matrices
         results: Dict[str, PolicyEvaluation] = {}
         for policy in self._policies:
-            results[policy.name] = evaluate_policy_on_feature(
+            results[policy.name] = evaluate_policy(
                 matrices, policy, protocol, attack_builder=attack_builder
             )
         return results
 
     def mean_utilities(
         self,
-        feature: Feature,
+        feature: Union[Feature, DetectionProtocol],
         weights: Sequence[float],
-        attack_builder: Optional[AttackBuilder] = None,
+        attack_builder: Optional[Union[AttackBuilder, DetectionAttackBuilder]] = None,
     ) -> Dict[str, List[float]]:
         """Average utility per policy across a sweep of utility weights.
 

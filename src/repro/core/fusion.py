@@ -1,0 +1,107 @@
+"""Alarm fusion rules for multi-feature detection.
+
+A :class:`FusionRule` turns the per-feature alert indicators of one bin into
+a single fused alarm decision.  The paper's agents monitor several behavioral
+features per host (Table 1); fusing their per-feature detectors is where the
+monoculture trade-off gets interesting — a mimicry attack sized to evade one
+feature's threshold can still trip another, so ``any``-fusion buys detection
+depth at the price of a higher false-positive rate, while ``all``-fusion (or
+the general ``k``-of-``n`` vote) trades the other way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from repro.utils.validation import require
+
+#: Fusion rules understood by :class:`FusionRule`.
+FUSION_RULES = ("any", "all", "k_of_n")
+
+
+@dataclass(frozen=True)
+class FusionRule:
+    """How per-feature alert indicators combine into one fused alarm per bin.
+
+    Attributes
+    ----------
+    rule:
+        ``"any"`` (a single feature's alert suffices), ``"all"`` (every
+        feature must alert) or ``"k_of_n"`` (at least ``k`` features must
+        alert).
+    k:
+        The vote count for ``"k_of_n"``; ignored by the other rules.  ``k``
+        is clamped to the evaluated feature count, so a rule like
+        ``k_of_n(2)`` stays meaningful when swept across feature sets of
+        varying size (over a single feature it degenerates to ``any``).
+    """
+
+    rule: str = "any"
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.rule in FUSION_RULES, f"fusion rule must be one of {list(FUSION_RULES)}")
+        require(self.k >= 1, "fusion k must be >= 1")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def any_(cls) -> "FusionRule":
+        """At least one feature alerts (logical OR)."""
+        return cls(rule="any")
+
+    @classmethod
+    def all_(cls) -> "FusionRule":
+        """Every feature alerts (logical AND)."""
+        return cls(rule="all")
+
+    @classmethod
+    def k_of_n(cls, k: int) -> "FusionRule":
+        """At least ``k`` of the evaluated features alert."""
+        return cls(rule="k_of_n", k=k)
+
+    # ------------------------------------------------------------------ naming
+    @property
+    def name(self) -> str:
+        """Stable display name (``"any"``, ``"all"``, ``"2-of-n"``)."""
+        if self.rule == "k_of_n":
+            return f"{self.k}-of-n"
+        return self.rule
+
+    # ---------------------------------------------------------------- fusion
+    def required_votes(self, num_features: int) -> int:
+        """Alerting-feature count needed to raise the fused alarm."""
+        require(num_features >= 1, "num_features must be >= 1")
+        if self.rule == "any":
+            return 1
+        if self.rule == "all":
+            return num_features
+        return min(self.k, num_features)
+
+    def fuse(self, indicators: np.ndarray) -> np.ndarray:
+        """Fused per-bin alarms from a ``(num_features, num_bins)`` bool array.
+
+        Row ``i`` holds feature ``i``'s per-bin alert indicator; the result is
+        the per-bin fused alarm under this rule.
+        """
+        stacked = np.atleast_2d(np.asarray(indicators, dtype=bool))
+        votes = np.count_nonzero(stacked, axis=0)
+        return votes >= self.required_votes(stacked.shape[0])
+
+    def fuse_mapping(self, indicators: Mapping[Any, np.ndarray]) -> np.ndarray:
+        """:meth:`fuse` over a per-feature mapping of indicator arrays."""
+        require(len(indicators) > 0, "at least one feature indicator is required")
+        return self.fuse(np.stack([np.asarray(row, dtype=bool) for row in indicators.values()]))
+
+    # ------------------------------------------------------------ round trips
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rule": self.rule, "k": self.k}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FusionRule":
+        require(isinstance(data, Mapping), "fusion must be a table/dict")
+        unknown = set(data) - {"rule", "k"}
+        require(not unknown, f"fusion: unknown field(s) {sorted(unknown)}")
+        return cls(rule=str(data.get("rule", "any")), k=int(data.get("k", 1)))

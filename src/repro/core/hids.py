@@ -10,10 +10,13 @@ can also operate in streaming mode, consuming window counts from
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.core.detector import Alert, ThresholdDetector
+from repro.core.fusion import FusionRule
 from repro.features.definitions import Feature
 from repro.features.streaming import WindowCounts
 from repro.features.timeseries import FeatureMatrix
@@ -31,6 +34,10 @@ class HIDSConfiguration:
         The configured host.
     thresholds:
         Per-feature detection thresholds.
+    fusion:
+        The :class:`~repro.core.fusion.FusionRule` combining the per-feature
+        alerts of one bin into the agent's fused alarm (default: ``any``, the
+        single-feature-compatible behaviour).
     batch_interval:
         How often (seconds) the agent ships its accumulated alerts to the
         central console.
@@ -39,11 +46,13 @@ class HIDSConfiguration:
     host_id: int
     thresholds: Mapping[Feature, float]
     batch_interval: float = DAY
+    fusion: FusionRule = field(default_factory=FusionRule)
 
     def __post_init__(self) -> None:
         require(len(self.thresholds) > 0, "configuration must cover at least one feature")
         require_positive(self.batch_interval, "batch_interval")
         require(all(value >= 0 for value in self.thresholds.values()), "thresholds must be non-negative")
+        require(isinstance(self.fusion, FusionRule), "fusion must be a FusionRule")
 
     def threshold(self, feature: Feature) -> float:
         """Threshold for ``feature``."""
@@ -115,6 +124,37 @@ class HIDSAgent:
                 self._detectors[feature].update_threshold(threshold)
             else:
                 self._detectors[feature] = ThresholdDetector(self.host_id, feature, threshold)
+
+    @property
+    def fusion(self) -> FusionRule:
+        """The fusion rule combining per-feature alerts into the fused alarm."""
+        return self._configuration.fusion
+
+    # ---------------------------------------------------------------- fusion
+    def fused_alarm_bins(self, matrix: FeatureMatrix) -> List[int]:
+        """Bins of ``matrix`` whose per-feature alerts satisfy the fusion rule.
+
+        Every monitored feature present in the matrix casts one vote per bin
+        (its count exceeds its threshold); the configuration's fusion rule
+        decides which bins raise the fused alarm.  This is the agent-side
+        view of :func:`~repro.core.evaluation.evaluate_policy`'s fused
+        detector.
+        """
+        require(matrix.host_id == self.host_id, "matrix belongs to a different host")
+        monitored = [feature for feature in self._detectors if feature in matrix]
+        require(len(monitored) > 0, "matrix shares no features with this agent")
+        indicators = np.stack(
+            [
+                np.asarray(matrix.series(feature).values) > self._detectors[feature].threshold
+                for feature in monitored
+            ]
+        )
+        fused = self._configuration.fusion.fuse(indicators)
+        return [int(index) for index in np.nonzero(fused)[0]]
+
+    def fused_alarm_count(self, matrix: FeatureMatrix) -> int:
+        """Number of bins of ``matrix`` raising the fused alarm."""
+        return len(self.fused_alarm_bins(matrix))
 
     # ------------------------------------------------------------------ batch
     def evaluate_matrix(self, matrix: FeatureMatrix) -> List[Alert]:

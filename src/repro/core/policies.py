@@ -19,6 +19,7 @@ from repro.core.grouping import (
     SingleGroupGrouping,
 )
 from repro.core.thresholds import DEFAULT_PERCENTILE, PercentileHeuristic, ThresholdHeuristic
+from repro.features.definitions import Feature
 from repro.stats.empirical import EmpiricalDistribution
 from repro.utils.validation import require
 
@@ -80,6 +81,97 @@ class ThresholdAssignment:
         require(count >= 1, "count must be >= 1")
         ranked = sorted(self.thresholds, key=lambda host: (self.thresholds[host], host))
         return tuple(ranked[:count])
+
+
+@dataclass(frozen=True)
+class DetectionAssignment:
+    """A policy applied to a feature set: one threshold assignment per feature.
+
+    Attributes
+    ----------
+    per_feature:
+        Mapping from feature to the :class:`ThresholdAssignment` the policy
+        computed for it.  Every feature's assignment covers the same hosts.
+    policy_name:
+        Name of the policy that produced the assignments.
+    """
+
+    per_feature: Mapping[Feature, ThresholdAssignment]
+    policy_name: str
+
+    def __post_init__(self) -> None:
+        require(len(self.per_feature) > 0, "assignment must cover at least one feature")
+        host_sets = {frozenset(a.thresholds) for a in self.per_feature.values()}
+        require(len(host_sets) == 1, "every feature's assignment must cover the same hosts")
+
+    @property
+    def features(self) -> Tuple[Feature, ...]:
+        """The features covered, in assignment order."""
+        return tuple(self.per_feature)
+
+    @property
+    def host_ids(self) -> Tuple[int, ...]:
+        """Hosts covered by the assignment, sorted."""
+        return next(iter(self.per_feature.values())).host_ids
+
+    def for_feature(self, feature: Feature) -> ThresholdAssignment:
+        """The per-feature :class:`ThresholdAssignment` for ``feature``."""
+        return self.per_feature[feature]
+
+    def thresholds_of(self, host_id: int) -> Dict[Feature, float]:
+        """Every threshold in force on ``host_id``, keyed by feature."""
+        return {
+            feature: assignment.threshold_of(host_id)
+            for feature, assignment in self.per_feature.items()
+        }
+
+    def distinct_threshold_count(self) -> int:
+        """Number of distinct threshold *configurations* across the population.
+
+        A configuration is the full per-feature threshold vector a host must
+        run; for a single feature this reduces to the legacy count of
+        distinct scalar thresholds — the management-overhead proxy IT
+        operators care about.
+        """
+        configurations = {
+            tuple(
+                round(assignment.threshold_of(host_id), 9)
+                for assignment in self.per_feature.values()
+            )
+            for host_id in self.host_ids
+        }
+        return len(configurations)
+
+    # ------------------------------------------- single-feature conveniences
+    def _sole_assignment(self) -> ThresholdAssignment:
+        require(
+            len(self.per_feature) == 1,
+            "this accessor is only defined for single-feature assignments; use .for_feature",
+        )
+        return next(iter(self.per_feature.values()))
+
+    @property
+    def thresholds(self) -> Mapping[int, float]:
+        """Single-feature convenience: the per-host thresholds."""
+        return self._sole_assignment().thresholds
+
+    @property
+    def grouping(self) -> GroupAssignment:
+        """Single-feature convenience: the group assignment."""
+        return self._sole_assignment().grouping
+
+    @property
+    def group_thresholds(self) -> Tuple[float, ...]:
+        """Single-feature convenience: the per-group thresholds."""
+        return self._sole_assignment().group_thresholds
+
+    def threshold_of(self, host_id: int) -> float:
+        """Single-feature convenience: the threshold assigned to ``host_id``."""
+        return self._sole_assignment().threshold_of(host_id)
+
+    def lowest_threshold_hosts(self, count: int = 10) -> Tuple[int, ...]:
+        """Single-feature convenience: Table 2's lowest-threshold hosts."""
+        return self._sole_assignment().lowest_threshold_hosts(count)
 
 
 class ConfigurationPolicy:
@@ -160,6 +252,39 @@ class ConfigurationPolicy:
             group_thresholds=tuple(group_thresholds),
             policy_name=self._name,
         )
+
+    def assign(
+        self,
+        training_distributions: Mapping[Feature, Mapping[int, EmpiricalDistribution]],
+        grouping_statistic_percentile: float = DEFAULT_PERCENTILE,
+    ) -> DetectionAssignment:
+        """Compute per-host thresholds for every feature of a detection protocol.
+
+        The per-feature thresholds are chosen jointly from one training week:
+        each feature's grouping statistic and group thresholds come from that
+        feature's own training distributions (reusing the vectorized grid
+        search of the utility/F-measure heuristics per feature), and the
+        resulting assignments are bundled into one
+        :class:`DetectionAssignment` covering the whole feature set.
+
+        Parameters
+        ----------
+        training_distributions:
+            Per-feature, per-host empirical distributions built from the
+            training week (see
+            :func:`~repro.core.evaluation.detection_training_distributions`).
+        grouping_statistic_percentile:
+            The percentile of each host's training distribution used as the
+            grouping statistic (the paper groups on the 99th percentile).
+        """
+        require(len(training_distributions) > 0, "training data must cover at least one feature")
+        per_feature = {
+            feature: self.compute_thresholds(
+                distributions, grouping_statistic_percentile=grouping_statistic_percentile
+            )
+            for feature, distributions in training_distributions.items()
+        }
+        return DetectionAssignment(per_feature=per_feature, policy_name=self._name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ConfigurationPolicy({self._name})"

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.attacks.base import AttackTrace
 from repro.attacks.naive import NaiveAttacker
-from repro.core.evaluation import EvaluationProtocol, PolicyEvaluation, evaluate_policy_on_feature
+from repro.core.evaluation import DetectionProtocol, PolicyEvaluation, evaluate_policy
 from repro.core.policies import (
     ConfigurationPolicy,
     FullDiversityPolicy,
@@ -116,8 +116,11 @@ def run_fig3(
         PartialDiversityPolicy(heuristic, num_groups=partial_groups),
     ]
     matrices = population.matrices()
-    protocol = EvaluationProtocol(
-        feature=feature, train_week=train_week, test_week=test_week, utility_weight=utility_weight
+    protocol = DetectionProtocol(
+        features=(feature,),
+        train_week=train_week,
+        test_week=test_week,
+        utility_weight=utility_weight,
     )
 
     # The evaluated attack: the middle of the size sweep, injected always-on
@@ -138,7 +141,7 @@ def run_fig3(
         fn_accumulator: Dict[int, List[float]] = {}
         first_evaluation: Optional[PolicyEvaluation] = None
         for size in sizes:
-            evaluation = evaluate_policy_on_feature(
+            evaluation = evaluate_policy(
                 matrices, policy, protocol, attack_builder=attack_builder_for(size)
             )
             if first_evaluation is None:

@@ -23,8 +23,8 @@ from repro.attacks.base import AttackTrace
 from repro.attacks.mimicry import hidden_traffic_by_host
 from repro.attacks.naive import NaiveAttacker, attack_size_sweep
 from repro.core.evaluation import (
-    EvaluationProtocol,
-    evaluate_policy_on_feature,
+    DetectionProtocol,
+    evaluate_policy,
     training_distributions,
 )
 from repro.core.policies import (
@@ -105,7 +105,7 @@ def run_fig4(
     """Compute Figure 4 on ``population``."""
     require(num_attack_sizes >= 2, "num_attack_sizes must be >= 2")
     matrices = population.matrices()
-    protocol = EvaluationProtocol(feature=feature, train_week=train_week, test_week=test_week)
+    protocol = DetectionProtocol(features=(feature,), train_week=train_week, test_week=test_week)
     heuristic = PercentileHeuristic(99.0)
     policies: Sequence[ConfigurationPolicy] = (
         HomogeneousPolicy(heuristic),
@@ -125,7 +125,7 @@ def run_fig4(
             )
 
         for policy in policies:
-            evaluation = evaluate_policy_on_feature(
+            evaluation = evaluate_policy(
                 matrices, policy, protocol, attack_builder=attack_builder
             )
             detection_curves[policy.name].append(evaluation.fraction_raising_alarm())

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.attacks.base import AttackTrace
 from repro.attacks.storm import StormZombieModel, generate_storm_trace
-from repro.core.evaluation import EvaluationProtocol, evaluate_policy_on_feature
+from repro.core.evaluation import DetectionProtocol, evaluate_policy
 from repro.core.policies import (
     ConfigurationPolicy,
     FullDiversityPolicy,
@@ -113,7 +113,7 @@ def run_fig5(
     week, matching the paper's replay methodology.
     """
     matrices = population.matrices()
-    protocol = EvaluationProtocol(feature=feature, train_week=train_week, test_week=test_week)
+    protocol = DetectionProtocol(features=(feature,), train_week=train_week, test_week=test_week)
     heuristic = PercentileHeuristic(99.0)
     policies: Sequence[ConfigurationPolicy] = (
         HomogeneousPolicy(heuristic),
@@ -132,7 +132,7 @@ def run_fig5(
 
     scatter: Dict[str, Dict[int, Tuple[float, float]]] = {}
     for policy in policies:
-        evaluation = evaluate_policy_on_feature(
+        evaluation = evaluate_policy(
             matrices, policy, protocol, attack_builder=attack_builder
         )
         scatter[policy.name] = {

@@ -13,7 +13,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.evaluation import EvaluationProtocol, evaluate_policy_on_feature
+from repro.core.evaluation import DetectionProtocol, evaluate_policy
 from repro.core.policies import (
     ConfigurationPolicy,
     FullDiversityPolicy,
@@ -72,8 +72,11 @@ def run_table3(
 ) -> AlarmVolumeResult:
     """Compute Table 3 on ``population``."""
     matrices = population.matrices()
-    protocol = EvaluationProtocol(
-        feature=feature, train_week=train_week, test_week=test_week, utility_weight=utility_weight
+    protocol = DetectionProtocol(
+        features=(feature,),
+        train_week=train_week,
+        test_week=test_week,
+        utility_weight=utility_weight,
     )
     if attack_sizes is None:
         # Linear sweep over the range that can hide inside user traffic
@@ -98,7 +101,7 @@ def run_table3(
         )
         per_policy: Dict[str, float] = {}
         for policy in policies:
-            evaluation = evaluate_policy_on_feature(matrices, policy, protocol)
+            evaluation = evaluate_policy(matrices, policy, protocol)
             per_policy[policy.name] = float(evaluation.total_false_alarms())
         alarms[heuristic_name] = per_policy
 

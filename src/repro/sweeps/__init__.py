@@ -35,15 +35,18 @@ from repro.sweeps.runner import (
 )
 from repro.sweeps.spec import (
     ATTACK_KINDS,
+    C2_KINDS,
     HEURISTIC_KINDS,
     POLICY_KINDS,
     AttackSpec,
     EvaluationSpec,
+    FusionSpec,
     PolicySpec,
     PopulationSpec,
     ScenarioSpec,
     SweepSpec,
     derive_scenario_seed,
+    scenario_spec_hash,
 )
 
 __all__ = [
@@ -67,7 +70,10 @@ __all__ = [
     "builtin_sweep_names",
     "load_builtin",
     "derive_scenario_seed",
+    "scenario_spec_hash",
+    "FusionSpec",
     "POLICY_KINDS",
     "HEURISTIC_KINDS",
     "ATTACK_KINDS",
+    "C2_KINDS",
 ]

@@ -102,17 +102,30 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         if args.quiet:
             return
         outcome = result.outcome
+        fused = f" fusion={outcome.fusion}" if outcome.num_features > 1 else ""
         print(
             f"  [{completed:>{len(str(total))}}/{total}] {result.scenario.name}: "
             f"utility={outcome.mean_utility:.4f} "
             f"f-measure={outcome.mean_f_measure:.4f} "
-            f"alarms={outcome.total_false_alarms} "
+            f"alarms={outcome.total_false_alarms}{fused} "
             f"({result.duration_seconds:.2f}s"
             f"{', population reused' if result.population_reused else ''})"
         )
 
     run_id = f"{sweep.name}-{int(time.time())}"
-    run = runner.run(sweep, store=store, progress=progress, run_id=run_id, scenarios=scenarios)
+    run = runner.run(
+        sweep,
+        store=store,
+        progress=progress,
+        run_id=run_id,
+        scenarios=scenarios,
+        skip_existing=not args.rerun,
+    )
+    if run.skipped_count:
+        print(
+            f"skipped {run.skipped_count} scenario(s) already in {store_path} "
+            f"(pass --rerun to re-evaluate them)"
+        )
     print(run.summary())
     print(f"results appended to {store_path} (run id {run_id})")
     return 0
@@ -120,9 +133,16 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
+    if not store.path.is_file():
+        print(f"error: result store not found: {store.path}", file=sys.stderr)
+        return 1
     records = store.records()
     if not records:
-        print(f"no records in {store.path}", file=sys.stderr)
+        print(
+            f"error: result store {store.path} is empty (no scenario records); "
+            f"populate it with `repro sweep run ... --store {store.path}`",
+            file=sys.stderr,
+        )
         return 1
     if args.pivot:
         rows_field, cols_field = args.pivot
@@ -208,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--weeks", type=int, default=None, help="override base population weeks")
     run.add_argument("--seed", type=int, default=None, help="override base population seed")
     run.add_argument("--quiet", action="store_true", help="suppress per-scenario progress")
+    run.add_argument(
+        "--rerun",
+        action="store_true",
+        help="re-evaluate scenarios whose results are already in the store "
+        "(by default they are skipped)",
+    )
     _add_engine_flags(run)
     run.set_defaults(handler=_cmd_sweep_run)
 
@@ -272,6 +298,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except OSError as error:
+        # Unreadable store/spec paths (directory, permissions, ...) are user
+        # errors, not tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 __all__ = ["main", "build_parser"]

@@ -26,7 +26,11 @@ from repro.experiments.report import render_table
 from repro.utils.validation import ValidationError, require
 
 #: Version stamped on every record; readers reject records from the future.
-RESULT_SCHEMA_VERSION = 1
+#: Version history: 1 = single-feature metrics; 2 = feature-set metrics (the
+#: headline metrics describe the fused alarm, plus ``fusion``,
+#: ``num_features`` and the ``per_feature`` table).  Version-1 records are
+#: still readable — their metrics are the degenerate single-feature case.
+RESULT_SCHEMA_VERSION = 2
 
 PathLike = Union[str, Path]
 
@@ -96,7 +100,11 @@ class ScenarioRecord:
 
         Bare names try the metrics first, then the top-level record fields
         (``"mean_utility"`` and ``"scenario"`` both work); dotted paths
-        descend explicitly (``"spec.policy.kind"``, ``"timing.duration_seconds"``).
+        descend explicitly (``"spec.policy.kind"``,
+        ``"timing.duration_seconds"``).  Dotted paths whose first segment is
+        a metric also resolve relative to the metrics table, so per-feature
+        metrics read naturally:
+        ``"per_feature.num_tcp_connections.mean_detection_rate"``.
         """
         data = self.to_dict()
         parts = path.split(".")
@@ -106,7 +114,7 @@ class ScenarioRecord:
             if parts[0] in data:
                 return data[parts[0]]
             raise ValidationError(f"record has no field {path!r}")
-        node: Any = data
+        node: Any = data if parts[0] in data else self.metrics
         for part in parts:
             if not isinstance(node, Mapping) or part not in node:
                 raise ValidationError(f"record has no field {path!r}")

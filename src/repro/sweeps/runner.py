@@ -26,11 +26,11 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.evaluation import EvaluationProtocol
+from repro.core.evaluation import DetectionProtocol
 from repro.core.experiment import ScenarioOutcome, evaluate_scenario
 from repro.engine import EngineStats, PopulationEngine, population_cache_key
 from repro.sweeps.results import ResultStore, ScenarioRecord
-from repro.sweeps.spec import ScenarioSpec, SweepSpec
+from repro.sweeps.spec import ScenarioSpec, SweepSpec, scenario_spec_hash
 from repro.utils.validation import require
 from repro.workload.enterprise import EnterprisePopulation
 
@@ -45,14 +45,16 @@ class _PoolUnavailable(Exception):
 def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> ScenarioOutcome:
     """Evaluate one scenario spec against an already generated population."""
     spec.validate()
-    feature = spec.evaluation.feature_enum()
-    protocol = EvaluationProtocol(
-        feature=feature,
+    protocol = DetectionProtocol(
+        features=spec.evaluation.features_enum(),
+        fusion=spec.evaluation.fusion_rule(),
         train_week=spec.evaluation.train_week,
         test_week=spec.evaluation.test_week,
         utility_weight=spec.evaluation.utility_weight,
     )
-    attack_builder = spec.attack.build_builder(feature, population.config.bin_width)
+    attack_builder = spec.attack.build_builder(
+        protocol.primary_feature, population.config.bin_width
+    )
     return evaluate_scenario(
         population,
         spec.policy.build(),
@@ -114,6 +116,12 @@ class SweepRunResult:
     engine_stats: EngineStats
     duration_seconds: float
     workers: int
+    skipped_scenarios: Tuple[str, ...] = ()
+
+    @property
+    def skipped_count(self) -> int:
+        """Scenarios skipped because the store already held their spec hash."""
+        return len(self.skipped_scenarios)
 
     @property
     def scenarios_per_second(self) -> float:
@@ -124,10 +132,13 @@ class SweepRunResult:
 
     def summary(self) -> str:
         """One-paragraph accounting of the run."""
+        skipped = (
+            f", {self.skipped_count} skipped (already in store)" if self.skipped_count else ""
+        )
         return (
             f"sweep {self.sweep.name!r}: {len(self.results)} scenario(s) in "
             f"{self.duration_seconds:.1f}s ({self.scenarios_per_second:.2f}/s, "
-            f"{self.workers} worker(s)); {self.distinct_populations} distinct "
+            f"{self.workers} worker(s)){skipped}; {self.distinct_populations} distinct "
             f"population(s): {self.populations_generated} generated, "
             f"{self.populations_from_cache} from cache"
         )
@@ -173,6 +184,7 @@ class SweepRunner:
         progress: Optional[ProgressCallback] = None,
         run_id: str = "",
         scenarios: Optional[List[ScenarioSpec]] = None,
+        skip_existing: bool = True,
     ) -> SweepRunResult:
         """Execute every scenario of ``sweep``; returns results in sweep order.
 
@@ -181,9 +193,19 @@ class SweepRunner:
         every completed record.  ``scenarios`` accepts the output of
         ``sweep.expand()`` when the caller already expanded it (avoids a
         second expansion); it must come from this exact sweep.
+
+        With ``skip_existing`` (the default) and a ``store``, scenarios whose
+        spec hash already has a record in the store are skipped instead of
+        re-evaluated — the sweep-level result cache.  Their names are
+        reported in :attr:`SweepRunResult.skipped_scenarios`; pass
+        ``skip_existing=False`` (the CLI's ``--rerun``) to force
+        re-evaluation.
         """
         started = time.perf_counter()
         scenarios = list(scenarios) if scenarios is not None else sweep.expand()
+        skipped: Tuple[str, ...] = ()
+        if store is not None and skip_existing:
+            scenarios, skipped = self._partition_cached(scenarios, store)
         stats_before = self._engine.stats
 
         def on_finished(completed: int, total: int, result: ScenarioResult) -> None:
@@ -206,9 +228,26 @@ class SweepRunner:
             engine_stats=self._engine.stats,
             duration_seconds=time.perf_counter() - started,
             workers=self._effective_workers(),
+            skipped_scenarios=skipped,
         )
 
     # ----------------------------------------------------------- internals
+    @staticmethod
+    def _partition_cached(
+        scenarios: List[ScenarioSpec], store: ResultStore
+    ) -> Tuple[List[ScenarioSpec], Tuple[str, ...]]:
+        """Split scenarios into (to evaluate, names already in the store)."""
+        existing = {scenario_spec_hash(record.spec) for record in store.records()}
+        if not existing:
+            return scenarios, ()
+        kept: List[ScenarioSpec] = []
+        skipped: List[str] = []
+        for scenario in scenarios:
+            if scenario_spec_hash(scenario) in existing:
+                skipped.append(scenario.name)
+            else:
+                kept.append(scenario)
+        return kept, tuple(skipped)
     def _generate_distinct_populations(
         self, scenarios: List[ScenarioSpec]
     ) -> Tuple[Dict[str, EnterprisePopulation], Dict[str, str]]:

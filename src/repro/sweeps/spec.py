@@ -22,10 +22,11 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.fusion import FUSION_RULES, FusionRule
 from repro.features.definitions import Feature
 from repro.sweeps import toml_io
 from repro.utils.validation import ValidationError, require
@@ -38,7 +39,10 @@ POLICY_KINDS = ("homogeneous", "full-diversity", "partial-diversity")
 HEURISTIC_KINDS = ("percentile", "mean-std", "utility", "f-measure")
 
 #: Attack kinds understood by :class:`AttackSpec`.
-ATTACK_KINDS = ("none", "naive", "storm")
+ATTACK_KINDS = ("none", "naive", "storm", "mimicry", "botnet")
+
+#: Botnet command-and-control channels understood by :class:`AttackSpec`.
+C2_KINDS = ("irc", "http", "p2p")
 
 #: Sweep expansion modes.
 SWEEP_MODES = ("grid", "zip")
@@ -195,30 +199,98 @@ class PolicySpec:
 
 @dataclass(frozen=True)
 class AttackSpec:
-    """The attack overlaid on every host's test week (or ``"none"``)."""
+    """The attack overlaid on every host's test week (or ``"none"``).
+
+    Attributes
+    ----------
+    kind:
+        ``"none"``, ``"naive"`` (fixed per-bin injection), ``"storm"``
+        (zombie-trace replay), ``"mimicry"`` (the resourceful attacker: the
+        largest injection that evades the target feature's threshold with
+        ``evasion_probability``) or ``"botnet"`` (a recruited subset of hosts
+        injects the campaign volume plus command-and-control traffic on the
+        C&C channel's feature).
+    size:
+        Per-bin campaign volume for ``naive``/``botnet``.
+    active_fraction:
+        Fraction of bins the ``naive``/``botnet`` campaign is active in.
+    seed:
+        Seed for per-host attack randomness (and botnet recruitment).
+    feature:
+        The feature the attack targets; empty selects the evaluation's
+        primary (first) feature.  Used by ``mimicry`` (the threshold it
+        evades) and ``botnet`` (the campaign feature).
+    evasion_probability:
+        The mimicry attacker's insisted-on probability of staying hidden.
+    compromise_probability:
+        Probability any given host is recruited into the botnet.
+    command_and_control:
+        Botnet C&C channel (``"irc"``/``"http"``/``"p2p"``); its control
+        traffic perturbs the channel's own feature, which is what
+        multi-feature fusion can catch even when the campaign stays stealthy.
+    control_size:
+        Per-bin C&C traffic volume on the control channel's feature.
+    """
 
     kind: str = "naive"
     size: float = 80.0
     active_fraction: float = 1.0
     seed: int = 1701
+    feature: str = ""
+    evasion_probability: float = 0.9
+    compromise_probability: float = 1.0
+    command_and_control: str = "p2p"
+    control_size: float = 5.0
+
+    def target_feature(self, primary: Feature) -> Feature:
+        """The feature this attack targets (``primary`` unless overridden)."""
+        if not self.feature:
+            return primary
+        try:
+            return Feature(self.feature)
+        except ValueError:
+            valid = [feature.value for feature in Feature]
+            raise ValidationError(
+                f"attack.feature must be one of {valid}, got {self.feature!r}"
+            ) from None
 
     def build_builder(
-        self, feature: Feature, bin_width: float
-    ) -> Optional[Callable[[int, Any], Any]]:
-        """The per-host attack builder :func:`evaluate_policy_on_feature` takes."""
+        self, primary_feature: Feature, bin_width: float
+    ) -> Optional[Callable[[int, Any, Mapping[Feature, float]], Any]]:
+        """The threshold-aware per-host attack builder :func:`evaluate_policy` takes."""
         if self.kind == "none":
             return None
         if self.kind == "naive":
             from repro.attacks.naive import NaiveAttacker
 
             attacker = NaiveAttacker(
-                feature=feature, attack_size=self.size, active_fraction=self.active_fraction
+                feature=self.target_feature(primary_feature),
+                attack_size=self.size,
+                active_fraction=self.active_fraction,
             )
 
-            def build_naive(host_id: int, matrix):
+            def build_naive(host_id: int, matrix, thresholds):
                 return attacker.build(matrix, np.random.default_rng((self.seed, host_id)))
 
             return build_naive
+        if self.kind == "mimicry":
+            from repro.attacks.mimicry import MimicryAttacker
+
+            target = self.target_feature(primary_feature)
+
+            def build_mimicry(host_id: int, matrix, thresholds):
+                # The resourceful attacker knows the threshold in force on
+                # this host (monitoring code planted on the victim).
+                attacker = MimicryAttacker(
+                    feature=target,
+                    threshold=float(thresholds[target]),
+                    evasion_probability=self.evasion_probability,
+                )
+                return attacker.build(matrix, np.random.default_rng((self.seed, host_id)))
+
+            return build_mimicry
+        if self.kind == "botnet":
+            return self._build_botnet_builder(primary_feature)
 
         from repro.attacks.storm import generate_storm_trace
         from repro.utils.timeutils import WEEK
@@ -226,10 +298,45 @@ class AttackSpec:
         # The paper replays the same zombie trace over every host's test week.
         storm = generate_storm_trace(duration=WEEK, bin_width=bin_width, seed=self.seed)
 
-        def build_storm(host_id: int, matrix):
+        def build_storm(host_id: int, matrix, thresholds):
             return storm
 
         return build_storm
+
+    def _build_botnet_builder(
+        self, primary_feature: Feature
+    ) -> Callable[[int, Any, Mapping[Feature, float]], Any]:
+        from repro.attacks.base import AttackTrace, FeatureInjection
+        from repro.attacks.botnet import CommandAndControl
+
+        campaign_feature = self.target_feature(primary_feature)
+        control_feature = CommandAndControl(self.command_and_control).control_feature
+
+        def build_botnet(host_id: int, matrix, thresholds):
+            rng = np.random.default_rng((self.seed, host_id))
+            recruited = rng.uniform() < self.compromise_probability
+            if not recruited:
+                return None
+            num_bins = matrix.num_bins
+            amounts = np.full(num_bins, float(self.size))
+            if self.active_fraction < 1.0:
+                active = rng.uniform(size=num_bins) < self.active_fraction
+                amounts = np.where(active, amounts, 0.0)
+            injections = {
+                campaign_feature: FeatureInjection(feature=campaign_feature, amounts=amounts)
+            }
+            if control_feature != campaign_feature and self.control_size > 0.0:
+                injections[control_feature] = FeatureInjection(
+                    feature=control_feature,
+                    amounts=np.full(num_bins, float(self.control_size)),
+                )
+            return AttackTrace(
+                name=f"botnet-{self.command_and_control}-{campaign_feature.value}-{self.size:g}",
+                injections=injections,
+                bin_spec=matrix.series(campaign_feature).bin_spec,
+            )
+
+        return build_botnet
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -237,40 +344,96 @@ class AttackSpec:
             "size": self.size,
             "active_fraction": self.active_fraction,
             "seed": self.seed,
+            "feature": self.feature,
+            "evasion_probability": self.evasion_probability,
+            "compromise_probability": self.compromise_probability,
+            "command_and_control": self.command_and_control,
+            "control_size": self.control_size,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AttackSpec":
         spec = _from_mapping(cls, data, "attack")
         _choice(spec.kind, ATTACK_KINDS, "attack.kind")
+        _choice(spec.command_and_control, C2_KINDS, "attack.command_and_control")
         require(spec.size >= 0.0, "attack.size must be non-negative")
+        require(spec.control_size >= 0.0, "attack.control_size must be non-negative")
         require(0.0 <= spec.active_fraction <= 1.0, "attack.active_fraction must be in [0, 1]")
+        require(
+            0.0 <= spec.evasion_probability <= 1.0,
+            "attack.evasion_probability must be in [0, 1]",
+        )
+        require(
+            0.0 <= spec.compromise_probability <= 1.0,
+            "attack.compromise_probability must be in [0, 1]",
+        )
+        if spec.feature:
+            spec.target_feature(Feature.TCP_CONNECTIONS)  # validate the name
+        return spec
+
+
+@dataclass(frozen=True)
+class FusionSpec:
+    """How per-feature alerts fuse into one alarm (see :class:`FusionRule`)."""
+
+    rule: str = "any"
+    k: int = 1
+
+    def build(self) -> FusionRule:
+        """The :class:`FusionRule` this spec describes."""
+        return FusionRule(rule=self.rule, k=self.k)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rule": self.rule, "k": self.k}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FusionSpec":
+        spec = _from_mapping(cls, data, "evaluation.fusion")
+        _choice(spec.rule, FUSION_RULES, "evaluation.fusion.rule")
+        require(spec.k >= 1, "evaluation.fusion.k must be >= 1")
         return spec
 
 
 @dataclass(frozen=True)
 class EvaluationSpec:
-    """The train/test protocol and the metrics' fixed parameters."""
+    """The train/test protocol and the metrics' fixed parameters.
+
+    ``features`` (plus ``fusion``) is the feature-set-first detection
+    surface: when non-empty it names the monitored feature set, with the
+    fusion rule applied per bin to the per-feature alert indicators.  The
+    scalar ``feature`` field remains for single-feature scenarios (and stays
+    sweepable as the ``evaluation.feature`` axis); when ``features`` is empty
+    the evaluation monitors exactly ``[feature]``, reproducing the legacy
+    behaviour bit for bit.
+    """
 
     feature: str = Feature.TCP_CONNECTIONS.value
+    features: Tuple[str, ...] = ()
+    fusion: FusionSpec = field(default_factory=FusionSpec)
     train_week: int = 0
     test_week: int = 1
     utility_weight: float = 0.4
     attack_prevalence: float = 0.01
 
     def feature_enum(self) -> Feature:
-        """The :class:`Feature` this spec names."""
-        try:
-            return Feature(self.feature)
-        except ValueError:
-            valid = [feature.value for feature in Feature]
-            raise ValidationError(
-                f"evaluation.feature must be one of {valid}, got {self.feature!r}"
-            ) from None
+        """The :class:`Feature` the scalar ``feature`` field names."""
+        return _feature_enum(self.feature, "evaluation.feature")
+
+    def features_enum(self) -> Tuple[Feature, ...]:
+        """The effective feature set: ``features`` or ``(feature,)``."""
+        if not self.features:
+            return (self.feature_enum(),)
+        return tuple(_feature_enum(name, "evaluation.features") for name in self.features)
+
+    def fusion_rule(self) -> FusionRule:
+        """The :class:`FusionRule` in force."""
+        return self.fusion.build()
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "feature": self.feature,
+            "features": list(self.features),
+            "fusion": self.fusion.to_dict(),
             "train_week": self.train_week,
             "test_week": self.test_week,
             "utility_weight": self.utility_weight,
@@ -279,8 +442,40 @@ class EvaluationSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationSpec":
-        spec = _from_mapping(cls, data, "evaluation")
-        spec.feature_enum()
+        require(isinstance(data, Mapping), "evaluation must be a table/dict")
+        known = {
+            "feature",
+            "features",
+            "fusion",
+            "train_week",
+            "test_week",
+            "utility_weight",
+            "attack_prevalence",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValidationError(
+                f"evaluation: unknown field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        features = data.get("features", ())
+        require(
+            isinstance(features, (list, tuple)),
+            "evaluation.features must be an array of feature names",
+        )
+        spec = cls(
+            feature=str(data.get("feature", Feature.TCP_CONNECTIONS.value)),
+            features=tuple(str(name) for name in features),
+            fusion=FusionSpec.from_dict(data.get("fusion", {})),
+            train_week=int(data.get("train_week", 0)),
+            test_week=int(data.get("test_week", 1)),
+            utility_weight=float(data.get("utility_weight", 0.4)),
+            attack_prevalence=float(data.get("attack_prevalence", 0.01)),
+        )
+        resolved = spec.features_enum()
+        require(
+            len(set(resolved)) == len(resolved), "evaluation.features must be distinct"
+        )
         require(spec.train_week >= 0, "evaluation.train_week must be non-negative")
         require(spec.test_week >= 0, "evaluation.test_week must be non-negative")
         require(spec.train_week != spec.test_week, "train and test weeks must differ")
@@ -289,6 +484,14 @@ class EvaluationSpec:
             0.0 <= spec.attack_prevalence <= 1.0, "evaluation.attack_prevalence must be in [0, 1]"
         )
         return spec
+
+
+def _feature_enum(name: str, label: str) -> Feature:
+    try:
+        return Feature(name)
+    except ValueError:
+        valid = [feature.value for feature in Feature]
+        raise ValidationError(f"{label} must name features among {valid}, got {name!r}") from None
 
 
 @dataclass(frozen=True)
@@ -309,6 +512,21 @@ class ScenarioSpec:
             f"scenario {self.name!r}: train/test weeks must fit in "
             f"{weeks} population week(s)",
         )
+        features = self.evaluation.features_enum()
+        if self.attack.kind == "mimicry":
+            target = self.attack.target_feature(features[0])
+            require(
+                target in features,
+                f"scenario {self.name!r}: mimicry targets {target.value!r}, which is "
+                f"not among the evaluated features (the attacker evades a threshold "
+                f"that must be in force)",
+            )
+        fusion = self.evaluation.fusion
+        if fusion.rule == "k_of_n":
+            require(
+                fusion.k >= 1,
+                f"scenario {self.name!r}: fusion.k must be >= 1",
+            )
         return self
 
     def to_dict(self) -> Dict[str, Any]:
@@ -497,5 +715,27 @@ class SweepSpec:
 
 def _slug(value: Any) -> str:
     if isinstance(value, float):
-        return format(value, "g")
+        text = format(value, "g")
+        # "g" keeps common values short (10.0 -> "10") but rounds to 6
+        # significant digits; fall back to full precision when the short form
+        # would collide with a neighbouring axis value.
+        try:
+            exact = float(text) == value
+        except (OverflowError, ValueError):  # inf/nan formatting round trips
+            exact = True
+        return text if exact else repr(value)
+    if isinstance(value, (list, tuple)):
+        return "+".join(_slug(item) for item in value)
     return str(value).replace(" ", "")
+
+
+def scenario_spec_hash(spec: Union["ScenarioSpec", Mapping[str, Any]]) -> str:
+    """Stable content hash of a scenario spec (or its ``to_dict`` payload).
+
+    Computed over the canonical JSON of the spec dict, so a
+    :class:`ScenarioSpec` hashes identically to its stored-record ``spec``
+    payload — the key the sweep-level result cache matches on.
+    """
+    payload = spec.to_dict() if isinstance(spec, ScenarioSpec) else dict(spec)
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

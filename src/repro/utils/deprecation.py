@@ -1,0 +1,20 @@
+"""Deprecation machinery for repro's own APIs.
+
+Deprecated entry points emit :class:`ReproDeprecationWarning`, a dedicated
+:class:`DeprecationWarning` subclass, so the test suite can turn *repro's*
+deprecations into hard errors (see ``filterwarnings`` in ``pyproject.toml``)
+without tripping on deprecations raised by third-party libraries.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated repro API was used."""
+
+
+def warn_deprecated(message: str, stacklevel: int = 3) -> None:
+    """Emit a :class:`ReproDeprecationWarning` attributed to the caller's caller."""
+    warnings.warn(message, ReproDeprecationWarning, stacklevel=stacklevel)

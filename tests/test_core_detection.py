@@ -9,11 +9,12 @@ from repro.attacks.naive import NaiveAttacker
 from repro.core.console import CentralConsole
 from repro.core.detector import ThresholdDetector
 from repro.core.evaluation import (
-    EvaluationProtocol,
-    evaluate_policy_on_feature,
+    DetectionProtocol,
+    evaluate_policy,
     training_distributions,
     weekly_train_test_pairs,
 )
+from repro.core.fusion import FusionRule
 from repro.core.hids import AlertBatch, HIDSAgent, HIDSConfiguration
 from repro.core.policies import FullDiversityPolicy, HomogeneousPolicy, PartialDiversityPolicy
 from repro.features.definitions import Feature
@@ -168,6 +169,73 @@ class TestCentralConsole:
         assert report.false_alarms == 1
 
 
+class TestAgentFusion:
+    def _fused_configuration(self, rule=FusionRule.k_of_n(2)):
+        return HIDSConfiguration(
+            host_id=1,
+            thresholds={Feature.TCP_CONNECTIONS: 10.0, Feature.UDP_CONNECTIONS: 5.0},
+            fusion=rule,
+        )
+
+    def _matrix_two_features(self):
+        return FeatureMatrix(
+            host_id=1,
+            series={
+                Feature.TCP_CONNECTIONS: _series([5, 50, 50, 5]),
+                Feature.UDP_CONNECTIONS: _series([1, 1, 20, 20]),
+            },
+        )
+
+    def test_fused_alarm_bins_k_of_n(self):
+        # TCP alerts in bins 1, 2; UDP alerts in bins 2, 3 -> only bin 2 has
+        # both votes.
+        agent = HIDSAgent(self._fused_configuration())
+        assert agent.fused_alarm_bins(self._matrix_two_features()) == [2]
+        assert agent.fused_alarm_count(self._matrix_two_features()) == 1
+
+    def test_fused_alarm_bins_any(self):
+        agent = HIDSAgent(self._fused_configuration(FusionRule.any_()))
+        assert agent.fused_alarm_bins(self._matrix_two_features()) == [1, 2, 3]
+
+    def test_fused_alarm_bins_all(self):
+        agent = HIDSAgent(self._fused_configuration(FusionRule.all_()))
+        assert agent.fused_alarm_bins(self._matrix_two_features()) == [2]
+
+    def test_default_configuration_fusion_is_any(self):
+        configuration = HIDSConfiguration(host_id=1, thresholds={Feature.TCP_CONNECTIONS: 1.0})
+        assert configuration.fusion == FusionRule.any_()
+
+    def test_wrong_host_rejected(self):
+        agent = HIDSAgent(self._fused_configuration())
+        with pytest.raises(ValidationError):
+            agent.fused_alarm_bins(_matrix([1.0], host_id=2))
+
+
+class TestConsoleFusion:
+    def _console_with_two_feature_alerts(self):
+        # Host 1: TCP fires in bins 1, 2; UDP fires in bins 2, 3.
+        console = CentralConsole()
+        tcp = ThresholdDetector(1, Feature.TCP_CONNECTIONS, 10.0)
+        udp = ThresholdDetector(1, Feature.UDP_CONNECTIONS, 5.0)
+        console.receive_alerts(tcp.evaluate(_series([5, 50, 50, 5])))
+        console.receive_alerts(udp.evaluate(_series([1, 1, 20, 20])))
+        return console
+
+    def test_fused_incidents_require_corroboration(self):
+        console = self._console_with_two_feature_alerts()
+        incidents = console.fused_incidents(FusionRule.k_of_n(2), num_features=2)
+        assert list(incidents) == [(1, 2)]
+        assert incidents[(1, 2)] == (Feature.TCP_CONNECTIONS, Feature.UDP_CONNECTIONS)
+        assert console.fused_incident_count(FusionRule.k_of_n(2), 2) == 1
+
+    def test_any_fusion_counts_every_alerting_bin_once(self):
+        console = self._console_with_two_feature_alerts()
+        # Bins 1, 2, 3 alert in at least one feature; bin 2 is one incident,
+        # not two.
+        assert console.fused_incident_count(FusionRule.any_(), 2) == 3
+        assert console.fused_incidents_per_host(FusionRule.any_(), 2) == {1: 3}
+
+
 class TestEvaluation:
     def test_weekly_pairs(self):
         assert weekly_train_test_pairs(5) == [(0, 1), (2, 3)]
@@ -177,7 +245,7 @@ class TestEvaluation:
 
     def test_protocol_validation(self):
         with pytest.raises(ValidationError):
-            EvaluationProtocol(feature=Feature.TCP_CONNECTIONS, train_week=1, test_week=1)
+            DetectionProtocol(features=(Feature.TCP_CONNECTIONS,), train_week=1, test_week=1)
 
     def test_training_distributions_active_bins(self):
         matrices = {1: _matrix([0.0] * 671 + [100.0] * 673)}
@@ -188,8 +256,8 @@ class TestEvaluation:
 
     def test_policy_evaluation_end_to_end(self, small_population):
         matrices = small_population.matrices()
-        protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS, train_week=0, test_week=1)
-        evaluation = evaluate_policy_on_feature(matrices, FullDiversityPolicy(), protocol)
+        protocol = DetectionProtocol(features=(Feature.TCP_CONNECTIONS,), train_week=0, test_week=1)
+        evaluation = evaluate_policy(matrices, FullDiversityPolicy(), protocol)
         assert len(evaluation.performances) == len(matrices)
         assert 0.0 <= evaluation.mean_utility() <= 1.0
         # Without an attack, false negatives are zero for everyone.
@@ -198,17 +266,17 @@ class TestEvaluation:
 
     def test_policy_evaluation_with_attack(self, small_population):
         matrices = small_population.matrices()
-        protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS, train_week=0, test_week=1)
+        protocol = DetectionProtocol(features=(Feature.TCP_CONNECTIONS,), train_week=0, test_week=1)
 
         def attack_builder(host_id, matrix):
             return NaiveAttacker(Feature.TCP_CONNECTIONS, attack_size=50.0).build(
                 matrix, np.random.default_rng(host_id)
             )
 
-        diversity = evaluate_policy_on_feature(
+        diversity = evaluate_policy(
             matrices, FullDiversityPolicy(), protocol, attack_builder=attack_builder
         )
-        homogeneous = evaluate_policy_on_feature(
+        homogeneous = evaluate_policy(
             matrices, HomogeneousPolicy(), protocol, attack_builder=attack_builder
         )
         # Diversity detects the moderate attack on more hosts than the monoculture.
@@ -217,20 +285,21 @@ class TestEvaluation:
 
     def test_partial_diversity_threshold_count(self, small_population):
         matrices = small_population.matrices()
-        protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS)
-        evaluation = evaluate_policy_on_feature(matrices, PartialDiversityPolicy(), protocol)
-        assert evaluation.assignment.grouping.num_groups == 8
+        protocol = DetectionProtocol(features=(Feature.TCP_CONNECTIONS,))
+        evaluation = evaluate_policy(matrices, PartialDiversityPolicy(), protocol)
+        assert evaluation.assignment.for_feature(Feature.TCP_CONNECTIONS).grouping.num_groups == 8
+        assert evaluation.assignment.grouping.num_groups == 8  # single-feature convenience
 
     def test_utilities_respond_to_weight(self, small_population):
         matrices = small_population.matrices()
-        protocol = EvaluationProtocol(feature=Feature.TCP_CONNECTIONS)
+        protocol = DetectionProtocol(features=(Feature.TCP_CONNECTIONS,))
 
         def attack_builder(host_id, matrix):
             return NaiveAttacker(Feature.TCP_CONNECTIONS, attack_size=5.0).build(
                 matrix, np.random.default_rng(host_id)
             )
 
-        evaluation = evaluate_policy_on_feature(
+        evaluation = evaluate_policy(
             matrices, HomogeneousPolicy(), protocol, attack_builder=attack_builder
         )
         # A tiny attack is mostly missed under the global threshold, so utility

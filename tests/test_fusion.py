@@ -1,0 +1,374 @@
+"""Tests for feature-set detection: fusion rules, multi-feature evaluation,
+and the deprecated single-feature shims (which must stay bit-identical)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.naive import NaiveAttacker
+from repro.core.evaluation import (
+    DetectionProtocol,
+    EvaluationProtocol,
+    evaluate_policy,
+    evaluate_policy_on_feature,
+)
+from repro.core.experiment import summarize_scenario
+from repro.core.fusion import FusionRule
+from repro.core.policies import FullDiversityPolicy, HomogeneousPolicy
+from repro.features.definitions import Feature
+from repro.features.timeseries import FeatureMatrix, TimeSeries
+from repro.utils.deprecation import ReproDeprecationWarning
+from repro.utils.timeutils import BinSpec, HOUR
+from repro.utils.validation import ValidationError
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_single_feature.json"
+
+FEATURE_A = Feature.TCP_CONNECTIONS
+FEATURE_B = Feature.DNS_CONNECTIONS
+FEATURE_C = Feature.UDP_CONNECTIONS
+
+#: 6-hour bins keep hypothesis populations small: 28 bins/week, 2 weeks.
+_BIN = BinSpec(width=6 * HOUR)
+_BINS_PER_WEEK = 28
+
+
+class TestFusionRule:
+    def test_required_votes(self):
+        assert FusionRule.any_().required_votes(5) == 1
+        assert FusionRule.all_().required_votes(5) == 5
+        assert FusionRule.k_of_n(3).required_votes(5) == 3
+
+    def test_k_clamped_to_feature_count(self):
+        # k_of_n stays meaningful when swept across feature-set sizes.
+        assert FusionRule.k_of_n(3).required_votes(2) == 2
+        assert FusionRule.k_of_n(3).required_votes(1) == 1
+
+    def test_fuse_matrix(self):
+        indicators = np.array([[True, True, False, False], [True, False, True, False]])
+        assert FusionRule.any_().fuse(indicators).tolist() == [True, True, True, False]
+        assert FusionRule.all_().fuse(indicators).tolist() == [True, False, False, False]
+        assert FusionRule.k_of_n(2).fuse(indicators).tolist() == [True, False, False, False]
+
+    def test_fuse_single_row(self):
+        row = np.array([True, False, True])
+        for rule in (FusionRule.any_(), FusionRule.all_(), FusionRule.k_of_n(1)):
+            assert rule.fuse(row).tolist() == row.tolist()
+
+    def test_names(self):
+        assert FusionRule.any_().name == "any"
+        assert FusionRule.all_().name == "all"
+        assert FusionRule.k_of_n(2).name == "2-of-n"
+
+    def test_round_trip(self):
+        for rule in (FusionRule.any_(), FusionRule.all_(), FusionRule.k_of_n(4)):
+            assert FusionRule.from_dict(rule.to_dict()) == rule
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FusionRule(rule="majority")
+        with pytest.raises(ValidationError):
+            FusionRule.k_of_n(0)
+        with pytest.raises(ValidationError):
+            FusionRule.from_dict({"rule": "any", "votes": 2})
+
+
+class TestDetectionProtocol:
+    def test_features_normalised_to_tuple(self):
+        assert DetectionProtocol(features=FEATURE_A).features == (FEATURE_A,)
+        assert DetectionProtocol(features=[FEATURE_A, FEATURE_B]).features == (
+            FEATURE_A,
+            FEATURE_B,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            DetectionProtocol(features=())
+        with pytest.raises(ValidationError):
+            DetectionProtocol(features=(FEATURE_A, FEATURE_A))
+        with pytest.raises(ValidationError):
+            DetectionProtocol(features=(FEATURE_A,), train_week=1, test_week=1)
+
+    def test_single_feature_accessor(self):
+        assert DetectionProtocol(features=(FEATURE_A,)).feature == FEATURE_A
+        with pytest.raises(ValidationError):
+            _ = DetectionProtocol(features=(FEATURE_A, FEATURE_B)).feature
+
+
+def _matrix(host_id: int, values_by_feature) -> FeatureMatrix:
+    return FeatureMatrix(
+        host_id=host_id,
+        series={
+            feature: TimeSeries(np.asarray(values, dtype=float), _BIN)
+            for feature, values in values_by_feature.items()
+        },
+    )
+
+
+def _two_feature_population(rng_seed: int = 3, num_hosts: int = 4):
+    rng = np.random.default_rng(rng_seed)
+    matrices = {}
+    for host_id in range(num_hosts):
+        matrices[host_id] = _matrix(
+            host_id,
+            {
+                FEATURE_A: rng.poisson(20, 2 * _BINS_PER_WEEK),
+                FEATURE_B: rng.poisson(8, 2 * _BINS_PER_WEEK),
+            },
+        )
+    return matrices
+
+
+def _naive_builder(feature: Feature, size: float):
+    def build(host_id, matrix):
+        return NaiveAttacker(feature=feature, attack_size=size).build(
+            matrix, np.random.default_rng(host_id)
+        )
+
+    return build
+
+
+class TestMultiFeatureEvaluation:
+    def test_any_fusion_fp_at_least_per_feature_fp(self):
+        matrices = _two_feature_population()
+        protocol = DetectionProtocol(
+            features=(FEATURE_A, FEATURE_B), fusion=FusionRule.any_()
+        )
+        evaluation = evaluate_policy(matrices, FullDiversityPolicy(), protocol)
+        for perf in evaluation.performances.values():
+            fused = perf.false_positive_rate
+            assert fused >= perf.feature_point(FEATURE_A).false_positive_rate
+            assert fused >= perf.feature_point(FEATURE_B).false_positive_rate
+
+    def test_fused_alarm_counts_match_rates(self):
+        matrices = _two_feature_population()
+        protocol = DetectionProtocol(
+            features=(FEATURE_A, FEATURE_B), fusion=FusionRule.k_of_n(2)
+        )
+        evaluation = evaluate_policy(matrices, FullDiversityPolicy(), protocol)
+        for perf in evaluation.performances.values():
+            num_bins = _BINS_PER_WEEK
+            assert perf.false_positive_rate == pytest.approx(
+                perf.false_alarm_count / num_bins
+            )
+
+    def test_attack_on_secondary_feature_detected_under_any(self):
+        matrices = _two_feature_population()
+        builder = _naive_builder(FEATURE_B, 500.0)
+        any_eval = evaluate_policy(
+            matrices,
+            FullDiversityPolicy(),
+            DetectionProtocol(features=(FEATURE_A, FEATURE_B), fusion=FusionRule.any_()),
+            attack_builder=builder,
+        )
+        # The blatant attack on feature B is caught on every host even though
+        # feature A sees nothing.
+        assert any_eval.fraction_raising_alarm() == 1.0
+        for perf in any_eval.performances.values():
+            assert perf.feature_alarm_raised[FEATURE_B] is True
+            assert perf.feature_alarm_raised[FEATURE_A] is None
+
+    def test_summarize_multi_feature_outcome(self):
+        matrices = _two_feature_population()
+        protocol = DetectionProtocol(
+            features=(FEATURE_A, FEATURE_B), fusion=FusionRule.k_of_n(2)
+        )
+        evaluation = evaluate_policy(
+            matrices, HomogeneousPolicy(), protocol, attack_builder=_naive_builder(FEATURE_A, 50.0)
+        )
+        outcome = summarize_scenario(evaluation)
+        assert outcome.fusion == "2-of-n"
+        assert outcome.num_features == 2
+        assert outcome.feature == f"{FEATURE_A.value}+{FEATURE_B.value}"
+        assert set(outcome.per_feature) == {FEATURE_A.value, FEATURE_B.value}
+        for metrics in outcome.per_feature.values():
+            assert 0.0 <= metrics["mean_false_positive_rate"] <= 1.0
+            assert metrics["distinct_thresholds"] == 1
+        # Serialisation round-trips, including the per-feature table.
+        from repro.core.experiment import ScenarioOutcome
+
+        assert ScenarioOutcome.from_dict(outcome.to_dict()) == outcome
+
+    def test_outcome_from_dict_tolerates_legacy_records(self):
+        from repro.core.experiment import ScenarioOutcome
+
+        legacy = {
+            "policy_name": "homogeneous",
+            "feature": "num_tcp_connections",
+            "num_hosts": 5,
+            "mean_utility": 0.5,
+            "median_utility": 0.5,
+            "mean_false_positive_rate": 0.01,
+            "mean_false_negative_rate": 0.2,
+            "mean_detection_rate": 0.8,
+            "mean_f_measure": 0.3,
+            "total_false_alarms": 7,
+            "fraction_raising_alarm": 0.4,
+            "distinct_thresholds": 1,
+        }
+        outcome = ScenarioOutcome.from_dict(legacy)
+        assert outcome.fusion == "any"
+        assert outcome.num_features == 1
+        assert outcome.per_feature == {}
+
+    def test_threshold_aware_attack_builder_receives_thresholds(self):
+        matrices = _two_feature_population()
+        seen = {}
+
+        def builder(host_id, matrix, thresholds):
+            seen[host_id] = dict(thresholds)
+            return None
+
+        protocol = DetectionProtocol(features=(FEATURE_A, FEATURE_B))
+        evaluation = evaluate_policy(matrices, FullDiversityPolicy(), protocol, builder)
+        assert set(seen) == set(matrices)
+        for host_id, thresholds in seen.items():
+            assert thresholds == evaluation.performances[host_id].thresholds
+
+    def test_keyword_only_thresholds_builder_supported(self):
+        matrices = _two_feature_population()
+        seen = {}
+
+        def builder(host_id, matrix, *, thresholds):
+            seen[host_id] = dict(thresholds)
+            return None
+
+        protocol = DetectionProtocol(features=(FEATURE_A, FEATURE_B))
+        evaluate_policy(matrices, FullDiversityPolicy(), protocol, builder)
+        assert set(seen) == set(matrices)
+
+
+class TestDeprecatedShims:
+    def test_evaluation_protocol_warns_and_builds_detection_protocol(self):
+        with pytest.warns(ReproDeprecationWarning, match="EvaluationProtocol"):
+            protocol = EvaluationProtocol(feature=FEATURE_A, train_week=0, test_week=1)
+        assert isinstance(protocol, DetectionProtocol)
+        assert protocol.features == (FEATURE_A,)
+        assert protocol.fusion == FusionRule.any_()
+
+    def test_evaluate_policy_on_feature_warns(self):
+        matrices = _two_feature_population(num_hosts=2)
+        protocol = DetectionProtocol(features=(FEATURE_A,))
+        with pytest.warns(ReproDeprecationWarning, match="evaluate_policy_on_feature"):
+            shimmed = evaluate_policy_on_feature(matrices, FullDiversityPolicy(), protocol)
+        direct = evaluate_policy(matrices, FullDiversityPolicy(), protocol)
+        assert shimmed.performances == direct.performances
+
+    @pytest.mark.skipif(not GOLDEN_PATH.is_file(), reason="golden file not present")
+    def test_single_feature_outcomes_bit_identical_to_pre_redesign(self):
+        """The acceptance check: the shimmed single-feature path reproduces the
+        ScenarioOutcomes captured from the pre-redesign API bit for bit."""
+        from repro.engine import PopulationEngine
+        from repro.sweeps import ScenarioSpec
+        from repro.sweeps.runner import run_scenario
+
+        golden = json.loads(GOLDEN_PATH.read_text())
+        engine = PopulationEngine(workers=1, use_cache=False)
+        populations = {}
+        for entry in golden:
+            spec = ScenarioSpec.from_dict(entry["spec"])
+            key = json.dumps(entry["spec"]["population"], sort_keys=True)
+            if key not in populations:
+                populations[key] = engine.generate(spec.population.to_config())
+            population = populations[key]
+
+            # New feature-set path (what the sweep runner executes today).
+            outcome = run_scenario(spec, population).to_dict()
+            for metric, value in entry["outcome"].items():
+                assert outcome[metric] == value, (spec.name, metric)
+
+            # And explicitly through the deprecated shims.
+            with pytest.warns(ReproDeprecationWarning):
+                protocol = EvaluationProtocol(
+                    feature=spec.evaluation.feature_enum(),
+                    train_week=spec.evaluation.train_week,
+                    test_week=spec.evaluation.test_week,
+                    utility_weight=spec.evaluation.utility_weight,
+                )
+                shimmed = evaluate_policy_on_feature(
+                    population.matrices(),
+                    spec.policy.build(),
+                    protocol,
+                    attack_builder=spec.attack.build_builder(
+                        protocol.feature, population.config.bin_width
+                    ),
+                )
+            shim_outcome = summarize_scenario(
+                shimmed, attack_prevalence=spec.evaluation.attack_prevalence
+            ).to_dict()
+            for metric, value in entry["outcome"].items():
+                assert shim_outcome[metric] == value, (spec.name, metric)
+
+
+@st.composite
+def _population_strategy(draw, num_features: int):
+    """A tiny multi-host, multi-feature population of non-negative counts."""
+    features = (FEATURE_A, FEATURE_B, FEATURE_C)[:num_features]
+    num_hosts = draw(st.integers(min_value=1, max_value=3))
+    matrices = {}
+    for host_id in range(num_hosts):
+        values_by_feature = {}
+        for feature in features:
+            values = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=60),
+                    min_size=2 * _BINS_PER_WEEK,
+                    max_size=2 * _BINS_PER_WEEK,
+                )
+            )
+            values_by_feature[feature] = values
+        matrices[host_id] = _matrix(host_id, values_by_feature)
+    return matrices
+
+
+class TestFusionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        matrices=_population_strategy(num_features=1),
+        attack_size=st.floats(min_value=0.0, max_value=200.0),
+    )
+    def test_k_of_n_1_over_single_feature_is_exactly_legacy(self, matrices, attack_size):
+        """k_of_n(1) over one feature IS the legacy single-feature evaluation."""
+        builder = _naive_builder(FEATURE_A, attack_size)
+        fused = evaluate_policy(
+            matrices,
+            FullDiversityPolicy(),
+            DetectionProtocol(features=(FEATURE_A,), fusion=FusionRule.k_of_n(1)),
+            attack_builder=builder,
+        )
+        with pytest.warns(ReproDeprecationWarning):
+            legacy = evaluate_policy_on_feature(
+                matrices,
+                FullDiversityPolicy(),
+                EvaluationProtocol(feature=FEATURE_A),
+                attack_builder=builder,
+            )
+        assert fused.performances == legacy.performances
+        fused_outcome = summarize_scenario(fused).to_dict()
+        legacy_outcome = summarize_scenario(legacy).to_dict()
+        # Only the fusion *label* may differ ("1-of-n" vs "any"); every metric
+        # must be bit-identical.
+        fused_outcome.pop("fusion")
+        legacy_outcome.pop("fusion")
+        assert fused_outcome == legacy_outcome
+
+    @settings(max_examples=25, deadline=None)
+    @given(matrices=_population_strategy(num_features=3))
+    def test_all_fusion_fp_never_exceeds_any_per_feature_fp(self, matrices):
+        """all-fusion only alarms where every feature alarms, so its FP rate is
+        bounded by each per-feature FP rate on the same population."""
+        protocol = DetectionProtocol(
+            features=(FEATURE_A, FEATURE_B, FEATURE_C), fusion=FusionRule.all_()
+        )
+        evaluation = evaluate_policy(matrices, HomogeneousPolicy(), protocol)
+        for perf in evaluation.performances.values():
+            for feature in protocol.features:
+                assert (
+                    perf.false_positive_rate
+                    <= perf.feature_point(feature).false_positive_rate + 1e-12
+                )

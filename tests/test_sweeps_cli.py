@@ -85,6 +85,81 @@ class TestSweepRun:
         assert code == 2
         assert "unknown built-in sweep" in capsys.readouterr().err
 
+    def test_second_run_skips_stored_scenarios(self, tmp_path, capsys):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SWEEP)
+        store_path = tmp_path / "out.jsonl"
+        argv = [
+            "sweep",
+            "run",
+            str(spec_path),
+            "--store",
+            str(store_path),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "skipped 2 scenario(s) already in" in out
+        assert "--rerun" in out
+        assert len(store_path.read_text().splitlines()) == 2
+
+    def test_rerun_flag_reevaluates(self, tmp_path, capsys):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SWEEP)
+        store_path = tmp_path / "out.jsonl"
+        argv = [
+            "sweep",
+            "run",
+            str(spec_path),
+            "--store",
+            str(store_path),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        assert main(argv + ["--rerun"]) == 0
+        assert "skipped" not in capsys.readouterr().out.split("sweep 'tiny'")[-1]
+        assert len(store_path.read_text().splitlines()) == 4
+
+    def test_feature_fusion_sweep_end_to_end(self, tmp_path, capsys):
+        # The acceptance path: the packaged multi-feature sweep completes and
+        # every stored record carries per-feature + fused metrics.
+        store_path = tmp_path / "fusion.jsonl"
+        code = main(
+            [
+                "sweep",
+                "run",
+                "feature-fusion",
+                "--hosts",
+                "10",
+                "--weeks",
+                "2",
+                "--store",
+                str(store_path),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in store_path.read_text().splitlines()]
+        assert len(records) == 27
+        fusions = {record["metrics"]["fusion"] for record in records}
+        assert fusions == {"any", "all", "2-of-n"}
+        sizes = {record["metrics"]["num_features"] for record in records}
+        assert sizes == {1, 2, 3}
+        for record in records:
+            metrics = record["metrics"]
+            assert set(metrics["per_feature"]) == set(
+                record["spec"]["evaluation"]["features"]
+            )
+            assert "mean_utility" in metrics
+
 
 class TestSweepReport:
     @pytest.fixture()
@@ -132,9 +207,64 @@ class TestSweepReport:
         assert "homogeneous" in out
         assert "40.0" in out
 
+    def test_report_renders_per_feature_metrics(self, tmp_path, capsys):
+        store_path = tmp_path / "fusion.jsonl"
+        spec_path = tmp_path / "fused.toml"
+        spec_path.write_text(
+            """
+[sweep]
+name = "fused"
+
+[scenario.population]
+num_hosts = 6
+num_weeks = 2
+seed = 3
+
+[scenario.evaluation]
+features = ["num_tcp_connections", "num_dns_connections"]
+
+[axes]
+"evaluation.fusion.rule" = ["any", "all"]
+"""
+        )
+        assert (
+            main(["sweep", "run", str(spec_path), "--store", str(store_path), "--no-cache", "--quiet"])
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "sweep",
+                "report",
+                str(store_path),
+                "--metrics",
+                "fusion",
+                "mean_false_positive_rate",
+                "per_feature.num_tcp_connections.mean_false_positive_rate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per_feature.num_tcp_connections.mean_false_positive_rate" in out
+        assert "any" in out and "all" in out
+
     def test_report_missing_store(self, tmp_path, capsys):
         assert main(["sweep", "report", str(tmp_path / "nope.jsonl")]) == 1
-        assert "no records" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "result store not found" in err
+        assert "nope.jsonl" in err
+
+    def test_report_empty_store(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["sweep", "report", str(empty)]) == 1
+        err = capsys.readouterr().err
+        assert "is empty" in err
+        assert "repro sweep run" in err
+
+    def test_report_store_is_directory(self, tmp_path, capsys):
+        assert main(["sweep", "report", str(tmp_path)]) in (1, 2)
+        assert "error" in capsys.readouterr().err
 
 
 class TestOtherCommands:

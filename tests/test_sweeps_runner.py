@@ -179,6 +179,104 @@ class TestRunner:
         assert spec.name == reloaded.scenario
 
 
+class TestSweepResultCache:
+    def test_second_run_skips_scenarios_already_in_store(self, tmp_path, counting_generation):
+        sweep = _sweep({"policy.kind": ["homogeneous", "full-diversity"]})
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        store = ResultStore(tmp_path / "results.jsonl")
+        runner = SweepRunner(engine=engine, workers=1)
+        first = runner.run(sweep, store=store)
+        assert len(first.results) == 2
+        assert first.skipped_count == 0
+
+        second = runner.run(sweep, store=store)
+        assert len(second.results) == 0
+        assert second.skipped_count == 2
+        assert set(second.skipped_scenarios) == {
+            "test-sweep/kind=homogeneous",
+            "test-sweep/kind=full-diversity",
+        }
+        assert "2 skipped (already in store)" in second.summary()
+        # No duplicate records were appended.
+        assert len(store.records()) == 2
+
+    def test_rerun_flag_forces_reevaluation(self, tmp_path):
+        sweep = _sweep({"policy.kind": ["homogeneous"]})
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        store = ResultStore(tmp_path / "results.jsonl")
+        runner = SweepRunner(engine=engine, workers=1)
+        runner.run(sweep, store=store)
+        forced = runner.run(sweep, store=store, skip_existing=False)
+        assert len(forced.results) == 1
+        assert forced.skipped_count == 0
+        assert len(store.records()) == 2
+
+    def test_changed_scenario_not_skipped(self, tmp_path):
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        store = ResultStore(tmp_path / "results.jsonl")
+        runner = SweepRunner(engine=engine, workers=1)
+        runner.run(_sweep({"attack.size": [25.0]}), store=store)
+        # A different attack size hashes differently and is evaluated.
+        second = runner.run(_sweep({"attack.size": [75.0]}), store=store)
+        assert len(second.results) == 1
+        assert second.skipped_count == 0
+
+    def test_no_store_means_no_skipping(self, tmp_path):
+        sweep = _sweep({"policy.kind": ["homogeneous"]})
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        runner = SweepRunner(engine=engine, workers=1)
+        runner.run(sweep)
+        second = runner.run(sweep)
+        assert len(second.results) == 1
+        assert second.skipped_count == 0
+
+
+class TestMultiFeatureScenarios:
+    def _fusion_sweep(self, tmp_path):
+        return SweepSpec.from_dict(
+            {
+                "sweep": {"name": "fusion-sweep", "mode": "grid"},
+                "scenario": {
+                    "name": "base",
+                    "population": {"num_hosts": 8, "num_weeks": 2, "seed": 77},
+                    "attack": {"kind": "mimicry", "feature": "num_tcp_connections"},
+                    "evaluation": {
+                        "features": ["num_tcp_connections", "num_dns_connections"],
+                        "fusion": {"rule": "k_of_n", "k": 2},
+                    },
+                },
+                "axes": {"evaluation.fusion.rule": ["any", "all"]},
+            }
+        )
+
+    def test_fusion_sweep_stores_per_feature_and_fused_metrics(self, tmp_path):
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        store = ResultStore(tmp_path / "results.jsonl")
+        run = SweepRunner(engine=engine, workers=1).run(self._fusion_sweep(tmp_path), store=store)
+        assert len(run.results) == 2
+        for record in store.records():
+            metrics = record.metrics
+            assert metrics["num_features"] == 2
+            assert set(metrics["per_feature"]) == {
+                "num_tcp_connections",
+                "num_dns_connections",
+            }
+            for per_feature in metrics["per_feature"].values():
+                assert 0.0 <= per_feature["mean_false_positive_rate"] <= 1.0
+        by_fusion = {record.metrics["fusion"]: record.metrics for record in store.records()}
+        assert set(by_fusion) == {"any", "all"}
+        # any-fusion can only raise more benign alarms than all-fusion.
+        assert by_fusion["any"]["total_false_alarms"] >= by_fusion["all"]["total_false_alarms"]
+
+    def test_parallel_matches_serial_for_multi_feature(self, tmp_path):
+        sweep = self._fusion_sweep(tmp_path)
+        serial_engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        serial = SweepRunner(engine=serial_engine, workers=1).run(sweep)
+        parallel_engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        parallel = SweepRunner(engine=parallel_engine, workers=2).run(sweep)
+        assert [r.outcome for r in parallel.results] == [r.outcome for r in serial.results]
+
+
 class TestResultStore:
     def _record(self, scenario="s1", kind="homogeneous", size=10.0, utility=0.5):
         return ScenarioRecord(

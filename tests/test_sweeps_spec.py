@@ -32,6 +32,10 @@ _AXIS_POOLS = {
     "policy.kind": st.sampled_from(
         ["homogeneous", "full-diversity", "partial-diversity"]
     ),
+    "attack.kind": st.sampled_from(["none", "naive", "storm", "mimicry", "botnet"]),
+    "attack.compromise_probability": st.floats(0.0, 1.0, allow_nan=False),
+    "evaluation.fusion.rule": st.sampled_from(["any", "all", "k_of_n"]),
+    "evaluation.fusion.k": st.integers(1, 4),
 }
 
 
@@ -178,6 +182,149 @@ class TestExpansionSemantics:
         ]
 
 
+class TestFeatureSetSpecs:
+    def _scenario(self, **evaluation):
+        return ScenarioSpec.from_dict(
+            {
+                "name": "s",
+                "population": {"num_hosts": 4, "num_weeks": 2},
+                "evaluation": evaluation,
+            }
+        )
+
+    def test_empty_features_falls_back_to_scalar_feature(self):
+        from repro.features.definitions import Feature
+
+        scenario = self._scenario(feature="num_dns_connections")
+        assert scenario.evaluation.features_enum() == (Feature.DNS_CONNECTIONS,)
+
+    def test_features_list_resolves_in_order(self):
+        from repro.features.definitions import Feature
+
+        scenario = self._scenario(
+            features=["num_udp_connections", "num_tcp_connections"]
+        )
+        assert scenario.evaluation.features_enum() == (
+            Feature.UDP_CONNECTIONS,
+            Feature.TCP_CONNECTIONS,
+        )
+
+    def test_duplicate_features_rejected(self):
+        with pytest.raises(ValidationError, match="distinct"):
+            self._scenario(features=["num_tcp_connections", "num_tcp_connections"])
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValidationError, match="features"):
+            self._scenario(features=["num_quic_connections"])
+
+    def test_bad_fusion_rule_rejected(self):
+        with pytest.raises(ValidationError, match="fusion.rule"):
+            self._scenario(fusion={"rule": "majority"})
+        with pytest.raises(ValidationError, match="fusion.k"):
+            self._scenario(fusion={"rule": "k_of_n", "k": 0})
+
+    def test_fusion_round_trips_through_toml(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "f"},
+                "scenario": {
+                    "population": {"num_hosts": 4, "num_weeks": 2},
+                    "evaluation": {
+                        "features": ["num_tcp_connections", "num_dns_connections"],
+                        "fusion": {"rule": "k_of_n", "k": 2},
+                    },
+                },
+                "axes": {},
+            }
+        )
+        assert SweepSpec.from_toml(sweep.to_toml()) == sweep
+
+    def test_features_axis_sweeps_feature_set_size(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "sizes"},
+                "scenario": {"population": {"num_hosts": 4, "num_weeks": 2}},
+                "axes": {
+                    "evaluation.features": [
+                        ["num_tcp_connections"],
+                        ["num_tcp_connections", "num_dns_connections"],
+                    ]
+                },
+            }
+        )
+        scenarios = sweep.expand()
+        assert [len(s.evaluation.features) for s in scenarios] == [1, 2]
+        names = [s.name for s in scenarios]
+        assert len(set(names)) == 2
+        assert SweepSpec.from_toml(sweep.to_toml()) == sweep
+
+    def test_fusion_k_axis(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "k-sweep"},
+                "scenario": {
+                    "population": {"num_hosts": 4, "num_weeks": 2},
+                    "evaluation": {
+                        "features": [
+                            "num_tcp_connections",
+                            "num_dns_connections",
+                            "num_udp_connections",
+                        ],
+                        "fusion": {"rule": "k_of_n", "k": 1},
+                    },
+                },
+                "axes": {"evaluation.fusion.k": [1, 2, 3]},
+            }
+        )
+        assert [s.evaluation.fusion.k for s in sweep.expand()] == [1, 2, 3]
+
+    def test_mimicry_target_must_be_evaluated(self):
+        with pytest.raises(ValidationError, match="mimicry"):
+            ScenarioSpec.from_dict(
+                {
+                    "population": {"num_hosts": 4, "num_weeks": 2},
+                    "attack": {"kind": "mimicry", "feature": "num_http_connections"},
+                    "evaluation": {"features": ["num_tcp_connections"]},
+                }
+            )
+
+    def test_attack_kind_axis_covers_all_families(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "families"},
+                "scenario": {"population": {"num_hosts": 4, "num_weeks": 2}},
+                "axes": {"attack.kind": ["none", "naive", "storm", "mimicry", "botnet"]},
+            }
+        )
+        kinds = [s.attack.kind for s in sweep.expand()]
+        assert kinds == ["none", "naive", "storm", "mimicry", "botnet"]
+
+    def test_attack_spec_validation(self):
+        from repro.sweeps import AttackSpec
+
+        with pytest.raises(ValidationError, match="evasion_probability"):
+            AttackSpec.from_dict({"kind": "mimicry", "evasion_probability": 1.5})
+        with pytest.raises(ValidationError, match="command_and_control"):
+            AttackSpec.from_dict({"kind": "botnet", "command_and_control": "dns"})
+        with pytest.raises(ValidationError, match="compromise_probability"):
+            AttackSpec.from_dict({"kind": "botnet", "compromise_probability": -0.1})
+        with pytest.raises(ValidationError, match="attack.feature"):
+            AttackSpec.from_dict({"kind": "naive", "feature": "nope"})
+
+    def test_float_slug_collisions_resolved(self):
+        # format(value, "g") rounds to 6 significant digits; axis values that
+        # collide in the short form must still produce distinct scenario names.
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "precise"},
+                "scenario": {"population": {"num_hosts": 4, "num_weeks": 2}},
+                "axes": {"attack.size": [1.0, 0.9999999999999999]},
+            }
+        )
+        names = [s.name for s in sweep.expand()]
+        assert len(set(names)) == 2
+
+
 class TestSeedDerivation:
     def test_derived_seeds_shared_by_identical_populations(self):
         sweep = SweepSpec.from_dict(
@@ -225,6 +372,7 @@ class TestBuiltinCatalog:
         assert builtin_sweep_names() == [
             "attack-intensity",
             "enterprise-scaling",
+            "feature-fusion",
             "policy-grid",
             "storm-replay",
         ]
