@@ -1,0 +1,64 @@
+"""Micro-benchmarks of joint threshold optimisation: co-optimisation cost.
+
+Coordinate ascent re-scores the vectorized fused objective once per
+(feature, sweep) move, so its cost over independent selection should stay a
+small multiple that grows roughly linearly in the feature-set size K.  These
+entries pin the coordinate-ascent premium at K = 2 and K = 3 next to the
+independent baseline at the 350-host benchmark scale, so later PRs can't
+silently regress the optimizer hot path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.core.evaluation import DetectionProtocol, evaluate_policy
+from repro.core.fusion import FusionRule
+from repro.core.policies import PartialDiversityPolicy
+from repro.core.thresholds import UtilityHeuristic
+from repro.features.definitions import PAPER_FEATURES
+from repro.optimize import CoordinateAscentOptimizer, IndependentOptimizer
+
+_ATTACK_SIZES = (10.0, 50.0, 100.0, 500.0)
+
+
+def _policy(optimizer):
+    heuristic = UtilityHeuristic(weight=0.4, attack_sizes=_ATTACK_SIZES)
+    return PartialDiversityPolicy(heuristic, optimizer=optimizer)
+
+
+def _protocol(num_features):
+    return DetectionProtocol(
+        features=PAPER_FEATURES[:num_features], fusion=FusionRule.any_()
+    )
+
+
+@pytest.mark.parametrize("num_features", [2, 3])
+def test_bench_optimize_independent_baseline(benchmark, bench_population, num_features):
+    """Independent per-feature selection (plus objective scoring) at K features."""
+    matrices = bench_population.matrices()
+    optimizer = IndependentOptimizer(weight=0.4, attack_sizes=_ATTACK_SIZES)
+    evaluation = run_once(
+        benchmark, evaluate_policy, matrices, _policy(optimizer), _protocol(num_features)
+    )
+    assert evaluation.optimization.optimizer == "independent"
+    assert evaluation.optimization.iterations == 0
+    benchmark.extra_info["num_features"] = num_features
+    benchmark.extra_info["optimizer"] = "independent"
+
+
+@pytest.mark.parametrize("num_features", [2, 3])
+def test_bench_optimize_coordinate_ascent(benchmark, bench_population, num_features):
+    """Coordinate-ascent co-optimisation of the fused utility at K features."""
+    matrices = bench_population.matrices()
+    optimizer = CoordinateAscentOptimizer(weight=0.4, attack_sizes=_ATTACK_SIZES)
+    evaluation = run_once(
+        benchmark, evaluate_policy, matrices, _policy(optimizer), _protocol(num_features)
+    )
+    report = evaluation.optimization
+    assert report.optimizer == "coordinate-ascent"
+    assert report.iterations >= 1
+    benchmark.extra_info["num_features"] = num_features
+    benchmark.extra_info["optimizer"] = "coordinate-ascent"
+    benchmark.extra_info["iterations"] = report.iterations

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Joint threshold co-optimisation vs independent per-feature selection.
+
+The per-feature heuristics pick each threshold in isolation, but the quantity
+that matters is the *fused* per-host utility of the whole detection protocol.
+This example configures the paper's three policies over TCP+DNS with every
+`repro.optimize` optimizer — independent (the paper's behaviour, scored),
+coordinate ascent (cycles per-feature grids against the fused utility) and
+the exhaustive joint grid (ground truth) — then measures them on the test
+week under the mimicry attacker, which adapts to whatever thresholds are
+actually in force.  The same comparison runs at campaign scale via
+``repro sweep run co-optimization``.
+
+Usage::
+
+    python examples/joint_threshold_optimization.py [--hosts 60] [--seed 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import Feature, quick_population
+from repro.attacks.mimicry import MimicryAttacker
+from repro.core.evaluation import DetectionProtocol, evaluate_policy
+from repro.core.fusion import FusionRule
+from repro.core.policies import (
+    FullDiversityPolicy,
+    HomogeneousPolicy,
+    PartialDiversityPolicy,
+)
+from repro.core.thresholds import UtilityHeuristic
+from repro.experiments.report import render_table
+from repro.optimize import (
+    CoordinateAscentOptimizer,
+    GridJointOptimizer,
+    IndependentOptimizer,
+)
+
+FEATURES = (Feature.TCP_CONNECTIONS, Feature.DNS_CONNECTIONS)
+ATTACK_SIZES = (10.0, 50.0, 100.0, 500.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=60, help="number of end hosts to simulate")
+    parser.add_argument("--seed", type=int, default=7, help="workload generation seed")
+    parser.add_argument(
+        "--weight", type=float, default=0.4, help="utility weight w (cost of missed detections)"
+    )
+    parser.add_argument(
+        "--evasion", type=float, default=0.9, help="mimicry attacker's target evasion probability"
+    )
+    args = parser.parse_args()
+
+    print(f"Generating a {args.hosts}-host, 2-week enterprise population (seed {args.seed})...")
+    population = quick_population(num_hosts=args.hosts, num_weeks=2, seed=args.seed)
+    matrices = population.matrices()
+    protocol = DetectionProtocol(
+        features=FEATURES, fusion=FusionRule.any_(), utility_weight=args.weight
+    )
+
+    def mimicry_builder(host_id, matrix, thresholds):
+        # The attacker adapts: it evades the TCP threshold actually in force,
+        # co-optimised or not.
+        attacker = MimicryAttacker(
+            feature=Feature.TCP_CONNECTIONS,
+            threshold=float(thresholds[Feature.TCP_CONNECTIONS]),
+            evasion_probability=args.evasion,
+        )
+        return attacker.build(matrix, np.random.default_rng(host_id))
+
+    heuristic = UtilityHeuristic(weight=args.weight, attack_sizes=ATTACK_SIZES)
+    optimizers = {
+        "independent": IndependentOptimizer(weight=args.weight, attack_sizes=ATTACK_SIZES),
+        "coordinate-ascent": CoordinateAscentOptimizer(
+            weight=args.weight, attack_sizes=ATTACK_SIZES
+        ),
+        "grid-joint": GridJointOptimizer(weight=args.weight, attack_sizes=ATTACK_SIZES),
+    }
+
+    rows = []
+    for optimizer_name, optimizer in optimizers.items():
+        policies = (
+            HomogeneousPolicy(heuristic, optimizer=optimizer),
+            FullDiversityPolicy(heuristic, optimizer=optimizer),
+            PartialDiversityPolicy(heuristic, optimizer=optimizer),
+        )
+        for policy in policies:
+            evaluation = evaluate_policy(
+                matrices, policy, protocol, attack_builder=mimicry_builder
+            )
+            report = evaluation.optimization
+            mean_fp = float(np.mean(list(evaluation.false_positive_rates().values())))
+            rows.append(
+                [
+                    optimizer_name,
+                    policy.name,
+                    round(report.objective_value, 4),
+                    report.iterations,
+                    round(mean_fp, 5),
+                    round(evaluation.fraction_raising_alarm(), 3),
+                    round(evaluation.mean_utility(), 4),
+                ]
+            )
+
+    print()
+    print(
+        render_table(
+            [
+                "optimizer",
+                "policy",
+                "objective",
+                "iters",
+                "fused FP",
+                "detects attack",
+                "mean utility",
+            ],
+            rows,
+            title=(
+                f"Joint vs independent threshold selection under mimicry "
+                f"(features={'+'.join(f.value for f in FEATURES)}, w={args.weight:g})"
+            ),
+        )
+    )
+    print(
+        "\nThe joint optimizers trade a little fused false-positive rate for"
+        "\nthresholds the mimic cannot slip under profitably: the objective"
+        "\ncolumn is what the optimizer bought on training data, the utility"
+        "\ncolumn what it was worth on the attacked test week."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -285,6 +285,16 @@ class PolicyEvaluation:
         """The evaluated feature set."""
         return self.protocol.features
 
+    @property
+    def optimization(self):
+        """Optimizer provenance of the threshold selection (None when heuristic-only).
+
+        An :class:`~repro.optimize.OptimizationReport` carrying the optimizer
+        name, the achieved fused-objective value and the convergence
+        iteration count.
+        """
+        return self.assignment.optimization
+
     def utilities(self, weight: Optional[float] = None) -> Dict[int, float]:
         """Per-host fused utilities at ``weight`` (defaults to the protocol's weight)."""
         w = weight if weight is not None else self.protocol.utility_weight
@@ -349,12 +359,14 @@ def training_distributions(
     """
     distributions: Dict[int, EmpiricalDistribution] = {}
     for host_id, matrix in matrices.items():
-        values = np.asarray(matrix.week(week).series(feature).values)
+        series = matrix.week(week).series(feature)
+        values = np.asarray(series.values)
         if active_bins_only:
             active = values[values > 0]
-            distributions[host_id] = EmpiricalDistribution(active if active.size else values)
-        else:
-            distributions[host_id] = EmpiricalDistribution(values)
+            values = active if active.size else values
+        # Tag the measurement bin width so grouping never silently pools
+        # per-bin counts observed over incompatible windows.
+        distributions[host_id] = EmpiricalDistribution(values, bin_width=series.bin_width)
     return distributions
 
 
@@ -457,7 +469,9 @@ def evaluate_policy(
         matrices, features, protocol.train_week, active_bins_only=protocol.train_on_active_bins
     )
     assignment = policy.assign(
-        training, grouping_statistic_percentile=protocol.grouping_statistic_percentile
+        training,
+        grouping_statistic_percentile=protocol.grouping_statistic_percentile,
+        fusion=fusion,
     )
 
     performances: Dict[int, HostPerformance] = {}

@@ -121,6 +121,11 @@ class ScenarioOutcome:
     for each individual feature's detector.  For a single-feature scenario
     the fused metrics equal that feature's metrics exactly (the legacy
     shape).
+
+    ``optimizer``/``objective_value``/``optimizer_iterations`` record how the
+    thresholds were *selected*: the optimizer's name (``"none"`` for plain
+    heuristic selection), the population-mean fused objective it achieved on
+    the training data, and its total convergence iterations.
     """
 
     policy_name: str
@@ -138,6 +143,9 @@ class ScenarioOutcome:
     fusion: str = "any"
     num_features: int = 1
     per_feature: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    optimizer: str = "none"
+    objective_value: Optional[float] = None
+    optimizer_iterations: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready mapping of every metric."""
@@ -157,6 +165,9 @@ class ScenarioOutcome:
             "fusion": self.fusion,
             "num_features": self.num_features,
             "per_feature": {name: dict(values) for name, values in self.per_feature.items()},
+            "optimizer": self.optimizer,
+            "objective_value": self.objective_value,
+            "optimizer_iterations": self.optimizer_iterations,
         }
 
     @classmethod
@@ -238,6 +249,7 @@ def summarize_scenario(
             evaluation.assignment.for_feature(feature).distinct_threshold_count()
         )
         per_feature[feature.value] = aggregates
+    optimization = evaluation.optimization
     return ScenarioOutcome(
         policy_name=evaluation.policy_name,
         feature="+".join(feature.value for feature in protocol.features),
@@ -254,6 +266,9 @@ def summarize_scenario(
         fusion=protocol.fusion.name,
         num_features=protocol.num_features,
         per_feature=per_feature,
+        optimizer=optimization.optimizer if optimization is not None else "none",
+        objective_value=optimization.objective_value if optimization is not None else None,
+        optimizer_iterations=optimization.iterations if optimization is not None else 0,
     )
 
 

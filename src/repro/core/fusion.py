@@ -95,6 +95,34 @@ class FusionRule:
         require(len(indicators) > 0, "at least one feature indicator is required")
         return self.fuse(np.stack([np.asarray(row, dtype=bool) for row in indicators.values()]))
 
+    def alarm_probability(self, alert_probabilities: np.ndarray) -> np.ndarray:
+        """``P(fused alarm)`` from independent per-feature alert probabilities.
+
+        ``alert_probabilities`` has the features on axis 0 (any trailing axes
+        are broadcast through, e.g. candidate-threshold grids); the result
+        drops axis 0.  Treating the per-bin alert indicators as independent
+        Bernoulli draws, the fused alarm fires when at least
+        :meth:`required_votes` features alert — the Poisson-binomial tail the
+        threshold optimizers score candidate vectors with.  For one feature
+        (any rule) this is the identity, matching the single-feature utility
+        heuristic's objective exactly.
+        """
+        probs = np.asarray(alert_probabilities, dtype=float)
+        require(probs.ndim >= 1 and probs.shape[0] >= 1, "at least one feature row is required")
+        num_features = probs.shape[0]
+        votes_needed = self.required_votes(num_features)
+        # dp[j] = P(exactly j of the features seen so far alert); fold one
+        # feature in per step, updating high counts first so each step reads
+        # the previous step's values.
+        dp = np.zeros((num_features + 1,) + probs.shape[1:])
+        dp[0] = 1.0
+        for index in range(num_features):
+            p = probs[index]
+            for votes in range(index + 1, 0, -1):
+                dp[votes] = dp[votes] * (1.0 - p) + dp[votes - 1] * p
+            dp[0] = dp[0] * (1.0 - p)
+        return np.sum(dp[votes_needed:], axis=0)
+
     # ------------------------------------------------------------ round trips
     def to_dict(self) -> Dict[str, Any]:
         return {"rule": self.rule, "k": self.k}

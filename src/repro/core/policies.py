@@ -1,16 +1,26 @@
-"""Configuration policies: threshold heuristic + grouping method.
+"""Configuration policies: threshold heuristic + grouping method + optimizer.
 
-A :class:`ConfigurationPolicy` computes, for one feature, the detection
-threshold every host in the population should use.  The three named policies
-from the paper are provided as thin wrappers with the right grouping method
-pre-selected; arbitrary combinations can be built directly.
+A :class:`ConfigurationPolicy` computes the detection thresholds every host
+in the population should use.  The three named policies from the paper are
+provided as thin wrappers with the right grouping method pre-selected;
+arbitrary combinations can be built directly.
+
+Threshold *selection* is delegated to a pluggable optimizer layer
+(:mod:`repro.optimize`): without an ``optimizer`` (or with the
+:class:`~repro.optimize.IndependentOptimizer`) each feature's threshold comes
+from the policy's heuristic in isolation — the paper's behaviour, bit for
+bit — while the joint optimizers co-optimise the whole per-feature threshold
+vector for the protocol's *fused* utility under one shared grouping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
+from repro.core.fusion import FusionRule
 from repro.core.grouping import (
     GroupAssignment,
     GroupingStrategy,
@@ -20,6 +30,7 @@ from repro.core.grouping import (
 )
 from repro.core.thresholds import DEFAULT_PERCENTILE, PercentileHeuristic, ThresholdHeuristic
 from repro.features.definitions import Feature
+from repro.optimize import FusedUtilityObjective, OptimizationReport, ThresholdOptimizer
 from repro.stats.empirical import EmpiricalDistribution
 from repro.utils.validation import require
 
@@ -94,10 +105,15 @@ class DetectionAssignment:
         computed for it.  Every feature's assignment covers the same hosts.
     policy_name:
         Name of the policy that produced the assignments.
+    optimization:
+        Provenance of optimizer-driven selection (optimizer name, achieved
+        objective value, iterations); ``None`` for plain heuristic
+        assignments.
     """
 
     per_feature: Mapping[Feature, ThresholdAssignment]
     policy_name: str
+    optimization: Optional[OptimizationReport] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         require(len(self.per_feature) > 0, "assignment must cover at least one feature")
@@ -175,18 +191,25 @@ class DetectionAssignment:
 
 
 class ConfigurationPolicy:
-    """A policy = threshold heuristic + grouping strategy.
+    """A policy = threshold heuristic + grouping strategy + optional optimizer.
 
     Parameters
     ----------
     heuristic:
-        How a training distribution is turned into a threshold.
+        How a training distribution is turned into a threshold (and where
+        joint optimizers start their search).
     grouping:
         How the population is partitioned; each group's threshold is computed
         from the pooled distribution of its members (exactly one host for
         full diversity, the whole population for homogeneous).
     name:
         Display name; defaults to "<grouping>/<heuristic>".
+    optimizer:
+        How thresholds are *selected* across the protocol's feature set (see
+        :mod:`repro.optimize`).  ``None`` keeps the pure heuristic path; an
+        :class:`~repro.optimize.IndependentOptimizer` selects identically but
+        additionally reports the fused objective; the joint optimizers
+        co-optimise the per-feature threshold vector per group.
     """
 
     def __init__(
@@ -194,10 +217,12 @@ class ConfigurationPolicy:
         heuristic: ThresholdHeuristic,
         grouping: GroupingStrategy,
         name: Optional[str] = None,
+        optimizer: Optional[ThresholdOptimizer] = None,
     ) -> None:
         self._heuristic = heuristic
         self._grouping = grouping
         self._name = name or f"{grouping.name}/{heuristic.name}"
+        self._optimizer = optimizer
 
     @property
     def name(self) -> str:
@@ -213,6 +238,20 @@ class ConfigurationPolicy:
     def grouping(self) -> GroupingStrategy:
         """The grouping strategy in use."""
         return self._grouping
+
+    @property
+    def optimizer(self) -> Optional[ThresholdOptimizer]:
+        """The threshold optimizer in use (None = pure heuristic selection)."""
+        return self._optimizer
+
+    def with_optimizer(self, optimizer: Optional[ThresholdOptimizer]) -> "ConfigurationPolicy":
+        """A copy of this policy selecting thresholds through ``optimizer``."""
+        return ConfigurationPolicy(
+            heuristic=self._heuristic,
+            grouping=self._grouping,
+            name=self._name,
+            optimizer=optimizer,
+        )
 
     def compute_thresholds(
         self,
@@ -257,15 +296,21 @@ class ConfigurationPolicy:
         self,
         training_distributions: Mapping[Feature, Mapping[int, EmpiricalDistribution]],
         grouping_statistic_percentile: float = DEFAULT_PERCENTILE,
+        fusion: Optional[FusionRule] = None,
     ) -> DetectionAssignment:
         """Compute per-host thresholds for every feature of a detection protocol.
 
-        The per-feature thresholds are chosen jointly from one training week:
-        each feature's grouping statistic and group thresholds come from that
-        feature's own training distributions (reusing the vectorized grid
-        search of the utility/F-measure heuristics per feature), and the
-        resulting assignments are bundled into one
-        :class:`DetectionAssignment` covering the whole feature set.
+        Without an optimizer the per-feature thresholds are chosen
+        independently from one training week: each feature's grouping
+        statistic and group thresholds come from that feature's own training
+        distributions (reusing the vectorized grid search of the
+        utility/F-measure heuristics per feature).  With an optimizer,
+        selection is delegated to it: the :class:`~repro.optimize.IndependentOptimizer`
+        keeps the independent path bit for bit (scoring the fused objective
+        only for reporting), while the joint optimizers co-optimise the whole
+        per-feature threshold vector per group — one shared grouping built
+        from the primary feature's statistics — against the fused utility
+        under ``fusion``.
 
         Parameters
         ----------
@@ -276,15 +321,137 @@ class ConfigurationPolicy:
         grouping_statistic_percentile:
             The percentile of each host's training distribution used as the
             grouping statistic (the paper groups on the 99th percentile).
+        fusion:
+            The protocol's fusion rule, defining the fused objective the
+            optimizer scores/maximises.  ``None`` (the heuristic-only
+            default) means ``any``-fusion when an optimizer is present.
         """
         require(len(training_distributions) > 0, "training data must cover at least one feature")
+        host_sets = {frozenset(dists) for dists in training_distributions.values()}
+        require(len(host_sets) == 1, "every feature's training data must cover the same hosts")
+        if self._optimizer is not None and self._optimizer.joint:
+            return self._assign_jointly(
+                training_distributions,
+                grouping_statistic_percentile,
+                self._optimizer.objective(fusion),
+            )
         per_feature = {
             feature: self.compute_thresholds(
                 distributions, grouping_statistic_percentile=grouping_statistic_percentile
             )
             for feature, distributions in training_distributions.items()
         }
-        return DetectionAssignment(per_feature=per_feature, policy_name=self._name)
+        if self._optimizer is None:
+            return DetectionAssignment(per_feature=per_feature, policy_name=self._name)
+        # Independent selection: the heuristic path above IS the answer;
+        # score its fused objective so the report stays comparable with the
+        # joint optimizers.
+        report = self._score_assignment(
+            per_feature, training_distributions, self._optimizer.objective(fusion)
+        )
+        return DetectionAssignment(
+            per_feature=per_feature, policy_name=self._name, optimization=report
+        )
+
+    def _assign_jointly(
+        self,
+        training_distributions: Mapping[Feature, Mapping[int, EmpiricalDistribution]],
+        grouping_statistic_percentile: float,
+        objective: FusedUtilityObjective,
+    ) -> DetectionAssignment:
+        """Co-optimise the per-feature threshold vector group by group.
+
+        One grouping — built from the *primary* (first) feature's grouping
+        statistics, as the console would deploy it — is shared by every
+        feature, and each group's whole threshold vector is chosen by the
+        optimizer against the fused objective.
+        """
+        features = tuple(training_distributions)
+        primary = training_distributions[features[0]]
+        statistics = {
+            host_id: distribution.percentile(grouping_statistic_percentile)
+            for host_id, distribution in primary.items()
+        }
+        grouping = self._grouping.assign(statistics)
+
+        group_thresholds: Dict[Feature, List[float]] = {feature: [] for feature in features}
+        thresholds: Dict[Feature, Dict[int, float]] = {feature: {} for feature in features}
+        total_iterations = 0
+        weighted_objective = 0.0
+        num_hosts = 0
+        for group in grouping.groups:
+            members = [
+                {feature: training_distributions[feature][host_id] for feature in features}
+                for host_id in group
+            ]
+            optimized = self._optimizer.optimize_group(
+                members, features, objective, self._heuristic
+            )
+            total_iterations += optimized.iterations
+            # The group's objective value IS the mean member utility at the
+            # chosen vector, so the population mean is the size-weighted mean
+            # of the per-group values — no re-scoring needed.
+            weighted_objective += optimized.objective_value * len(group)
+            num_hosts += len(group)
+            for feature in features:
+                value = optimized.thresholds[feature]
+                group_thresholds[feature].append(value)
+                for host_id in group:
+                    thresholds[feature][host_id] = value
+
+        per_feature = {
+            feature: ThresholdAssignment(
+                thresholds=thresholds[feature],
+                grouping=grouping,
+                group_thresholds=tuple(group_thresholds[feature]),
+                policy_name=self._name,
+            )
+            for feature in features
+        }
+        report = OptimizationReport(
+            optimizer=self._optimizer.name,
+            objective_value=weighted_objective / num_hosts,
+            iterations=total_iterations,
+        )
+        return DetectionAssignment(
+            per_feature=per_feature, policy_name=self._name, optimization=report
+        )
+
+    def _score_assignment(
+        self,
+        per_feature: Mapping[Feature, ThresholdAssignment],
+        training_distributions: Mapping[Feature, Mapping[int, EmpiricalDistribution]],
+        objective: FusedUtilityObjective,
+    ) -> OptimizationReport:
+        """Population mean of the per-host fused objective at the assignment.
+
+        Used by the independent path, whose per-feature groupings carry no
+        fused score of their own; computed the same way the joint path's
+        group values aggregate, so the reported value is directly comparable
+        across optimizers.  Hosts sharing a threshold vector are scored in
+        one vectorized call (one call total for a homogeneous assignment).
+        """
+        features = tuple(training_distributions)
+        host_ids = next(iter(per_feature.values())).host_ids
+        by_vector: Dict[Tuple[float, ...], List[int]] = {}
+        for host_id in host_ids:
+            vector = tuple(per_feature[feature].threshold_of(host_id) for feature in features)
+            by_vector.setdefault(vector, []).append(host_id)
+        total = 0.0
+        for vector, hosts in by_vector.items():
+            members = [
+                {feature: training_distributions[feature][host_id] for feature in features}
+                for host_id in hosts
+            ]
+            utilities = objective.member_utilities(
+                members, features, np.asarray(vector)[None, :]
+            )
+            total += float(np.sum(utilities))
+        return OptimizationReport(
+            optimizer=self._optimizer.name,
+            objective_value=total / len(host_ids),
+            iterations=0,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ConfigurationPolicy({self._name})"
@@ -293,22 +460,32 @@ class ConfigurationPolicy:
 class HomogeneousPolicy(ConfigurationPolicy):
     """The monoculture policy: one global threshold for every host."""
 
-    def __init__(self, heuristic: Optional[ThresholdHeuristic] = None) -> None:
+    def __init__(
+        self,
+        heuristic: Optional[ThresholdHeuristic] = None,
+        optimizer: Optional[ThresholdOptimizer] = None,
+    ) -> None:
         super().__init__(
             heuristic=heuristic if heuristic is not None else PercentileHeuristic(),
             grouping=SingleGroupGrouping(),
             name="homogeneous",
+            optimizer=optimizer,
         )
 
 
 class FullDiversityPolicy(ConfigurationPolicy):
     """The full-diversity policy: every host computes its own threshold."""
 
-    def __init__(self, heuristic: Optional[ThresholdHeuristic] = None) -> None:
+    def __init__(
+        self,
+        heuristic: Optional[ThresholdHeuristic] = None,
+        optimizer: Optional[ThresholdOptimizer] = None,
+    ) -> None:
         super().__init__(
             heuristic=heuristic if heuristic is not None else PercentileHeuristic(),
             grouping=PerHostGrouping(),
             name="full-diversity",
+            optimizer=optimizer,
         )
 
 
@@ -324,6 +501,7 @@ class PartialDiversityPolicy(ConfigurationPolicy):
         heuristic: Optional[ThresholdHeuristic] = None,
         num_groups: int = 8,
         heavy_fraction: float = 0.15,
+        optimizer: Optional[ThresholdOptimizer] = None,
     ) -> None:
         require(num_groups >= 2 and num_groups % 2 == 0, "num_groups must be an even number >= 2")
         grouping = QuantileSplitGrouping(
@@ -333,4 +511,5 @@ class PartialDiversityPolicy(ConfigurationPolicy):
             heuristic=heuristic if heuristic is not None else PercentileHeuristic(),
             grouping=grouping,
             name=f"{num_groups}-partial",
+            optimizer=optimizer,
         )

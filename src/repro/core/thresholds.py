@@ -101,8 +101,15 @@ class MeanStdHeuristic(ThresholdHeuristic):
         return distribution.mean() + self.num_std * distribution.std()
 
 
-def _candidate_thresholds(distribution: EmpiricalDistribution, num_candidates: int) -> np.ndarray:
-    """Quantile grid of candidate thresholds spanning the distribution's range."""
+def candidate_threshold_grid(
+    distribution: EmpiricalDistribution, num_candidates: int
+) -> np.ndarray:
+    """Quantile grid of candidate thresholds spanning the distribution's range.
+
+    The shared search grid of the utility/F-measure heuristics and the
+    :mod:`repro.optimize` optimizers: upper-half quantiles of the training
+    distribution, deduplicated and sorted.
+    """
     quantiles = np.minimum(np.linspace(0.5, 1.0, num_candidates), 1.0)
     values = distribution.percentiles(100.0 * quantiles)
     # Include a little headroom above the max so "never alarm" is a candidate.
@@ -183,12 +190,8 @@ class UtilityHeuristic(ThresholdHeuristic):
         members against the missed detections of light members.
         """
         require(len(distributions) > 0, "group must contain at least one distribution")
-        pooled = (
-            distributions[0]
-            if len(distributions) == 1
-            else EmpiricalDistribution.pooled(list(distributions))
-        )
-        candidates = _candidate_thresholds(pooled, self.num_candidates)
+        pooled = EmpiricalDistribution.pooled(list(distributions))
+        candidates = candidate_threshold_grid(pooled, self.num_candidates)
         sizes = np.asarray(self.attack_sizes, dtype=float)
         false_positives, false_negatives = _member_rate_matrices(distributions, candidates, sizes)
         utilities = 1.0 - (self.weight * false_negatives + (1.0 - self.weight) * false_positives)
@@ -230,12 +233,8 @@ class FMeasureHeuristic(ThresholdHeuristic):
     def threshold_for_group(self, distributions: Sequence[EmpiricalDistribution]) -> float:
         """Threshold maximising the average member F-measure."""
         require(len(distributions) > 0, "group must contain at least one distribution")
-        pooled = (
-            distributions[0]
-            if len(distributions) == 1
-            else EmpiricalDistribution.pooled(list(distributions))
-        )
-        candidates = _candidate_thresholds(pooled, self.num_candidates)
+        pooled = EmpiricalDistribution.pooled(list(distributions))
+        candidates = candidate_threshold_grid(pooled, self.num_candidates)
         sizes = np.asarray(self.attack_sizes, dtype=float)
         false_positives, false_negatives = _member_rate_matrices(distributions, candidates, sizes)
         scores = f_measure_from_rate_arrays(

@@ -10,8 +10,18 @@ tables; :mod:`repro.experiments.runner` runs everything end to end.
 from repro.experiments.fig1_tail_diversity import TailDiversityResult, run_fig1
 from repro.experiments.fig2_feature_scatter import FeatureScatterResult, run_fig2
 from repro.experiments.table2_best_users import BestUsersResult, run_table2
-from repro.experiments.fig3_utility import UtilityComparisonResult, run_fig3
-from repro.experiments.table3_alarms import AlarmVolumeResult, run_table3
+from repro.experiments.fig3_utility import (
+    CoOptimizedUtilityResult,
+    UtilityComparisonResult,
+    run_fig3,
+    run_fig3_cooptimized,
+)
+from repro.experiments.table3_alarms import (
+    AlarmVolumeResult,
+    FusedAlarmVolumeResult,
+    run_table3,
+    run_table3_fused,
+)
 from repro.experiments.fig4_attacker import AttackerResult, run_fig4
 from repro.experiments.fig5_storm import StormReplayResult, run_fig5
 from repro.experiments.runner import ExperimentSuiteResult, run_all_experiments
@@ -26,8 +36,12 @@ __all__ = [
     "run_table2",
     "UtilityComparisonResult",
     "run_fig3",
+    "CoOptimizedUtilityResult",
+    "run_fig3_cooptimized",
     "AlarmVolumeResult",
     "run_table3",
+    "FusedAlarmVolumeResult",
+    "run_table3_fused",
     "AttackerResult",
     "run_fig4",
     "StormReplayResult",

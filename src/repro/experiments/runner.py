@@ -7,11 +7,21 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.experiments.fig1_tail_diversity import TailDiversityResult, run_fig1
 from repro.experiments.fig2_feature_scatter import FeatureScatterResult, run_fig2
-from repro.experiments.fig3_utility import UtilityComparisonResult, run_fig3
+from repro.experiments.fig3_utility import (
+    CoOptimizedUtilityResult,
+    UtilityComparisonResult,
+    run_fig3,
+    run_fig3_cooptimized,
+)
 from repro.experiments.fig4_attacker import AttackerResult, run_fig4
 from repro.experiments.fig5_storm import StormReplayResult, run_fig5
 from repro.experiments.table2_best_users import BestUsersResult, run_table2
-from repro.experiments.table3_alarms import AlarmVolumeResult, run_table3
+from repro.experiments.table3_alarms import (
+    AlarmVolumeResult,
+    FusedAlarmVolumeResult,
+    run_table3,
+    run_table3_fused,
+)
 from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation, generate_enterprise
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -30,6 +40,8 @@ class ExperimentSuiteResult:
     table3: AlarmVolumeResult
     fig4: AttackerResult
     fig5: StormReplayResult
+    table3_fused: FusedAlarmVolumeResult
+    fig3_cooptimized: CoOptimizedUtilityResult
 
     def render(self) -> str:
         """Render every experiment's text report, separated by blank lines."""
@@ -41,6 +53,8 @@ class ExperimentSuiteResult:
             self.table3.render(),
             self.fig4.render(),
             self.fig5.render(),
+            self.table3_fused.render(),
+            self.fig3_cooptimized.render(),
         ]
         return "\n\n".join(sections)
 
@@ -69,4 +83,6 @@ def run_all_experiments(
         table3=run_table3(population),
         fig4=run_fig4(population),
         fig5=run_fig5(population),
+        table3_fused=run_table3_fused(population),
+        fig3_cooptimized=run_fig3_cooptimized(population),
     )

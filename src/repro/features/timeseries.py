@@ -116,8 +116,13 @@ class TimeSeries:
 
     # --------------------------------------------------------------- queries
     def distribution(self) -> EmpiricalDistribution:
-        """The empirical distribution of per-bin counts."""
-        return EmpiricalDistribution(self._values)
+        """The empirical distribution of per-bin counts.
+
+        Tagged with this series' bin width, so pooling distributions measured
+        over incompatible windows is rejected at the source (see
+        :meth:`~repro.stats.empirical.EmpiricalDistribution.pooled`).
+        """
+        return EmpiricalDistribution(self._values, bin_width=self.bin_width)
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile of per-bin counts."""

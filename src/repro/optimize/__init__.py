@@ -1,0 +1,39 @@
+"""Joint threshold optimisation for fused multi-feature detection.
+
+The optimizer layer sits between the per-feature threshold heuristics
+(:mod:`repro.core.thresholds`) and the configuration policies
+(:mod:`repro.core.policies`): instead of each feature picking its threshold
+in isolation, a :class:`ThresholdOptimizer` chooses the whole per-feature
+threshold vector against the *fused* utility of the evaluated
+``DetectionProtocol``.
+"""
+
+from repro.optimize.objective import (
+    DEFAULT_ATTACK_SIZES,
+    FusedUtilityObjective,
+    MemberDistributions,
+)
+from repro.optimize.optimizers import (
+    MAX_JOINT_GRID_FEATURES,
+    CoordinateAscentOptimizer,
+    GridJointOptimizer,
+    GroupOptimization,
+    IndependentOptimizer,
+    OptimizationReport,
+    ThresholdOptimizer,
+    independent_thresholds,
+)
+
+__all__ = [
+    "DEFAULT_ATTACK_SIZES",
+    "FusedUtilityObjective",
+    "MemberDistributions",
+    "MAX_JOINT_GRID_FEATURES",
+    "CoordinateAscentOptimizer",
+    "GridJointOptimizer",
+    "GroupOptimization",
+    "IndependentOptimizer",
+    "OptimizationReport",
+    "ThresholdOptimizer",
+    "independent_thresholds",
+]

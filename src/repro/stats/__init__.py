@@ -7,7 +7,12 @@ heavy-tailed samplers, tail-index estimation and a small k-means
 implementation used by the grouping policies.
 """
 
-from repro.stats.empirical import EmpiricalDistribution, ecdf, percentile_of_score
+from repro.stats.empirical import (
+    EmpiricalDistribution,
+    common_bin_width,
+    ecdf,
+    percentile_of_score,
+)
 from repro.stats.quantile import GreenwaldKhannaSketch, P2QuantileEstimator, StreamingQuantile
 from repro.stats.histogram import Histogram, LogHistogram
 from repro.stats.samplers import (
@@ -25,6 +30,7 @@ from repro.stats.summary import SummaryStatistics, summarize
 
 __all__ = [
     "EmpiricalDistribution",
+    "common_bin_width",
     "ecdf",
     "percentile_of_score",
     "GreenwaldKhannaSketch",

@@ -39,15 +39,29 @@ class EmpiricalDistribution:
         Observed values (per-bin feature counts).  May be empty only if
         ``allow_empty`` is true, in which case every query raises until
         samples are added.
+    bin_width:
+        Optional provenance: the bin width (seconds) the per-bin counts were
+        measured over.  Counts observed over different bin widths are not
+        comparable, so pooling distributions with conflicting known widths is
+        rejected (see :meth:`pooled`).  ``None`` means "unknown" and is
+        compatible with everything.
     """
 
-    def __init__(self, samples: Optional[Iterable[float]] = None, allow_empty: bool = True) -> None:
+    def __init__(
+        self,
+        samples: Optional[Iterable[float]] = None,
+        allow_empty: bool = True,
+        bin_width: Optional[float] = None,
+    ) -> None:
         values = np.asarray(list(samples) if samples is not None else [], dtype=float)
         if not allow_empty and values.size == 0:
             raise ValidationError("EmpiricalDistribution requires at least one sample")
         if values.size and not np.all(np.isfinite(values)):
             raise ValidationError("samples must be finite")
+        if bin_width is not None:
+            require(bin_width > 0.0, "bin_width must be positive")
         self._sorted = np.sort(values)
+        self._bin_width = None if bin_width is None else float(bin_width)
 
     # ------------------------------------------------------------------ basic
     def __len__(self) -> int:
@@ -65,6 +79,11 @@ class EmpiricalDistribution:
         view.flags.writeable = False
         return view
 
+    @property
+    def bin_width(self) -> Optional[float]:
+        """Bin width (seconds) the samples were measured over, if known."""
+        return self._bin_width
+
     def _require_samples(self) -> None:
         if self.is_empty:
             raise ValidationError("operation requires a non-empty distribution")
@@ -76,7 +95,7 @@ class EmpiricalDistribution:
         if new_values.size and not np.all(np.isfinite(new_values)):
             raise ValidationError("samples must be finite")
         merged = np.concatenate([self._sorted, new_values])
-        return EmpiricalDistribution(merged)
+        return EmpiricalDistribution(merged, bin_width=self._bin_width)
 
     @classmethod
     def pooled(cls, distributions: Sequence["EmpiricalDistribution"]) -> "EmpiricalDistribution":
@@ -84,11 +103,17 @@ class EmpiricalDistribution:
 
         This is how the homogeneous (monoculture) policy builds its global
         distribution at the central console: all per-host samples are
-        collapsed together before percentiles are extracted.
+        collapsed together before percentiles are extracted.  Distributions
+        with conflicting known bin widths measure incomparable counts and are
+        rejected (see :func:`common_bin_width`).
         """
         require(len(distributions) > 0, "pooled requires at least one distribution")
+        if len(distributions) == 1:
+            # Nothing to pool: the (immutable) distribution is its own pool.
+            return distributions[0]
+        width = common_bin_width(distributions)
         arrays: List[np.ndarray] = [dist._sorted for dist in distributions]
-        return cls(np.concatenate(arrays) if arrays else [])
+        return cls(np.concatenate(arrays) if arrays else [], bin_width=width)
 
     # ---------------------------------------------------------------- queries
     def min(self) -> float:
@@ -214,3 +239,20 @@ class EmpiricalDistribution:
             f"EmpiricalDistribution(n={len(self)}, "
             f"median={self.percentile(50):.3g}, p99={self.percentile(99):.3g})"
         )
+
+
+def common_bin_width(distributions: Sequence["EmpiricalDistribution"]) -> Optional[float]:
+    """The single bin width shared by ``distributions``, or None if unknown.
+
+    A per-bin count over a 60-second bin and one over a 300-second bin measure
+    different quantities; pooling them produces a threshold that is wrong for
+    every member.  Distributions whose width is unknown (``None``) are
+    compatible with anything; two *known* but different widths raise.
+    """
+    widths = {dist.bin_width for dist in distributions if dist.bin_width is not None}
+    if len(widths) > 1:
+        raise ValidationError(
+            "cannot pool distributions with different bin widths "
+            f"({sorted(widths)}); resample to a common bin width first"
+        )
+    return next(iter(widths)) if widths else None

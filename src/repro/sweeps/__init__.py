@@ -37,10 +37,12 @@ from repro.sweeps.spec import (
     ATTACK_KINDS,
     C2_KINDS,
     HEURISTIC_KINDS,
+    OPTIMIZER_KINDS,
     POLICY_KINDS,
     AttackSpec,
     EvaluationSpec,
     FusionSpec,
+    OptimizerSpec,
     PolicySpec,
     PopulationSpec,
     ScenarioSpec,
@@ -72,8 +74,10 @@ __all__ = [
     "derive_scenario_seed",
     "scenario_spec_hash",
     "FusionSpec",
+    "OptimizerSpec",
     "POLICY_KINDS",
     "HEURISTIC_KINDS",
     "ATTACK_KINDS",
     "C2_KINDS",
+    "OPTIMIZER_KINDS",
 ]

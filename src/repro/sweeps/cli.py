@@ -103,11 +103,16 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             return
         outcome = result.outcome
         fused = f" fusion={outcome.fusion}" if outcome.num_features > 1 else ""
+        optimized = (
+            f" optimizer={outcome.optimizer} objective={outcome.objective_value:.4f}"
+            if outcome.optimizer != "none" and outcome.objective_value is not None
+            else ""
+        )
         print(
             f"  [{completed:>{len(str(total))}}/{total}] {result.scenario.name}: "
             f"utility={outcome.mean_utility:.4f} "
             f"f-measure={outcome.mean_f_measure:.4f} "
-            f"alarms={outcome.total_false_alarms}{fused} "
+            f"alarms={outcome.total_false_alarms}{fused}{optimized} "
             f"({result.duration_seconds:.2f}s"
             f"{', population reused' if result.population_reused else ''})"
         )

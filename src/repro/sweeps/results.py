@@ -28,9 +28,12 @@ from repro.utils.validation import ValidationError, require
 #: Version stamped on every record; readers reject records from the future.
 #: Version history: 1 = single-feature metrics; 2 = feature-set metrics (the
 #: headline metrics describe the fused alarm, plus ``fusion``,
-#: ``num_features`` and the ``per_feature`` table).  Version-1 records are
-#: still readable — their metrics are the degenerate single-feature case.
-RESULT_SCHEMA_VERSION = 2
+#: ``num_features`` and the ``per_feature`` table); 3 = optimizer provenance
+#: (``optimizer``, ``objective_value``, ``optimizer_iterations`` record how
+#: the thresholds were selected, and the spec carries
+#: ``evaluation.optimizer``).  Older records are still readable — missing
+#: optimizer fields read as heuristic-only selection (``"none"``).
+RESULT_SCHEMA_VERSION = 3
 
 PathLike = Union[str, Path]
 

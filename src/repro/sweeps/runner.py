@@ -42,6 +42,19 @@ class _PoolUnavailable(Exception):
     """The process pool could not produce any result (fall back to serial)."""
 
 
+def planned_attack_feature(spec: ScenarioSpec, protocol: DetectionProtocol):
+    """The evaluated feature the optimizer's fused objective should plan for.
+
+    The scenario's attack target, when it is one of the evaluated features;
+    ``None`` (= the primary feature) when there is no attack or the attack
+    perturbs a feature outside the evaluated set.
+    """
+    if spec.attack.kind == "none":
+        return None
+    target = spec.attack.target_feature(protocol.primary_feature)
+    return target if target in protocol.features else None
+
+
 def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> ScenarioOutcome:
     """Evaluate one scenario spec against an already generated population."""
     spec.validate()
@@ -55,9 +68,14 @@ def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> Scenar
     attack_builder = spec.attack.build_builder(
         protocol.primary_feature, population.config.bin_width
     )
+    optimizer = spec.evaluation.optimizer.build(
+        weight=spec.evaluation.utility_weight,
+        attack_sizes=spec.policy.attack_sizes,
+        attack_feature=planned_attack_feature(spec, protocol),
+    )
     return evaluate_scenario(
         population,
-        spec.policy.build(),
+        spec.policy.build(optimizer=optimizer),
         protocol,
         attack_builder=attack_builder,
         attack_prevalence=spec.evaluation.attack_prevalence,

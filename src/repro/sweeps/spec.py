@@ -41,6 +41,9 @@ HEURISTIC_KINDS = ("percentile", "mean-std", "utility", "f-measure")
 #: Attack kinds understood by :class:`AttackSpec`.
 ATTACK_KINDS = ("none", "naive", "storm", "mimicry", "botnet")
 
+#: Threshold optimizers understood by :class:`OptimizerSpec`.
+OPTIMIZER_KINDS = ("none", "independent", "coordinate-ascent", "grid-joint")
+
 #: Botnet command-and-control channels understood by :class:`AttackSpec`.
 C2_KINDS = ("irc", "http", "p2p")
 
@@ -141,8 +144,13 @@ class PolicySpec:
     attack_prevalence: float = 0.01
     num_groups: int = 8
 
-    def build(self):
-        """Instantiate the :class:`~repro.core.policies.ConfigurationPolicy`."""
+    def build(self, optimizer=None):
+        """Instantiate the :class:`~repro.core.policies.ConfigurationPolicy`.
+
+        ``optimizer`` (a :class:`~repro.optimize.ThresholdOptimizer`, usually
+        built by :meth:`OptimizerSpec.build`) selects how the per-feature
+        thresholds are chosen; ``None`` keeps the pure heuristic path.
+        """
         from repro.core.policies import (
             FullDiversityPolicy,
             HomogeneousPolicy,
@@ -166,10 +174,10 @@ class PolicySpec:
                 attack_sizes=self.attack_sizes, attack_prevalence=self.attack_prevalence
             )
         if self.kind == "homogeneous":
-            return HomogeneousPolicy(heuristic)
+            return HomogeneousPolicy(heuristic, optimizer=optimizer)
         if self.kind == "full-diversity":
-            return FullDiversityPolicy(heuristic)
-        return PartialDiversityPolicy(heuristic, num_groups=self.num_groups)
+            return FullDiversityPolicy(heuristic, optimizer=optimizer)
+        return PartialDiversityPolicy(heuristic, num_groups=self.num_groups, optimizer=optimizer)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -395,6 +403,98 @@ class FusionSpec:
 
 
 @dataclass(frozen=True)
+class OptimizerSpec:
+    """How per-feature thresholds are *selected* (see :mod:`repro.optimize`).
+
+    Attributes
+    ----------
+    kind:
+        ``"none"`` keeps the pure per-feature heuristic path (the paper's
+        behaviour, bit for bit); ``"independent"`` selects identically but
+        scores and reports the fused objective; ``"coordinate-ascent"`` and
+        ``"grid-joint"`` co-optimise the whole per-feature threshold vector
+        per group against the fused utility.
+    num_candidates:
+        Per-feature candidate-grid size for the joint optimizers; ``0`` uses
+        each optimizer's own default.
+    max_sweeps:
+        Coordinate ascent's upper bound on full passes over the feature set.
+    tolerance:
+        Coordinate ascent's convergence tolerance per sweep.
+
+    The objective's defender parameters come from the enclosing scenario:
+    the weight is ``evaluation.utility_weight`` and the planned attack sizes
+    are ``policy.attack_sizes``, so optimizer and heuristic plan for the
+    same attacks.
+    """
+
+    kind: str = "none"
+    num_candidates: int = 0
+    max_sweeps: int = 8
+    tolerance: float = 1e-9
+
+    def build(self, weight: float, attack_sizes: Sequence[float], attack_feature=None):
+        """Instantiate the :class:`~repro.optimize.ThresholdOptimizer` (or None).
+
+        ``attack_feature`` is the evaluated :class:`~repro.features.definitions.Feature`
+        the scenario's attack actually targets, so the fused objective plans
+        for the right feature; ``None`` plans for the primary (first) one.
+        """
+        if self.kind == "none":
+            return None
+        from repro.optimize import (
+            CoordinateAscentOptimizer,
+            GridJointOptimizer,
+            IndependentOptimizer,
+        )
+
+        common = {
+            "weight": weight,
+            "attack_sizes": tuple(attack_sizes),
+            "attack_feature": attack_feature,
+        }
+        if self.kind == "independent":
+            return IndependentOptimizer(**common)
+        if self.kind == "coordinate-ascent":
+            if self.num_candidates:
+                common["num_candidates"] = self.num_candidates
+            return CoordinateAscentOptimizer(
+                max_sweeps=self.max_sweeps, tolerance=self.tolerance, **common
+            )
+        if self.num_candidates:
+            common["num_candidates"] = self.num_candidates
+        return GridJointOptimizer(**common)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "num_candidates": self.num_candidates,
+            "max_sweeps": self.max_sweeps,
+            "tolerance": self.tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OptimizerSpec":
+        spec = _from_mapping(cls, data, "evaluation.optimizer")
+        _choice(spec.kind, OPTIMIZER_KINDS, "evaluation.optimizer.kind")
+        require(
+            spec.num_candidates == 0 or spec.num_candidates >= 2,
+            "evaluation.optimizer.num_candidates must be 0 (optimizer default) or >= 2",
+        )
+        require(spec.max_sweeps >= 1, "evaluation.optimizer.max_sweeps must be >= 1")
+        require(spec.tolerance >= 0.0, "evaluation.optimizer.tolerance must be non-negative")
+        # Normalise fields that are inert for the selected kind back to their
+        # defaults, so equivalent configurations hash identically and the
+        # sweep result cache never re-evaluates (or spuriously distinguishes)
+        # the same computation.
+        if spec.kind in ("none", "independent"):
+            spec = cls(kind=spec.kind)
+        elif spec.kind == "grid-joint":
+            spec = cls(kind=spec.kind, num_candidates=spec.num_candidates)
+        return spec
+
+
+@dataclass(frozen=True)
 class EvaluationSpec:
     """The train/test protocol and the metrics' fixed parameters.
 
@@ -405,11 +505,16 @@ class EvaluationSpec:
     sweepable as the ``evaluation.feature`` axis); when ``features`` is empty
     the evaluation monitors exactly ``[feature]``, reproducing the legacy
     behaviour bit for bit.
+
+    ``optimizer`` selects how the per-feature thresholds are chosen (see
+    :class:`OptimizerSpec`); its fields are sweepable as dotted axes, e.g.
+    ``evaluation.optimizer.kind`` or ``evaluation.optimizer.num_candidates``.
     """
 
     feature: str = Feature.TCP_CONNECTIONS.value
     features: Tuple[str, ...] = ()
     fusion: FusionSpec = field(default_factory=FusionSpec)
+    optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
     train_week: int = 0
     test_week: int = 1
     utility_weight: float = 0.4
@@ -434,6 +539,7 @@ class EvaluationSpec:
             "feature": self.feature,
             "features": list(self.features),
             "fusion": self.fusion.to_dict(),
+            "optimizer": self.optimizer.to_dict(),
             "train_week": self.train_week,
             "test_week": self.test_week,
             "utility_weight": self.utility_weight,
@@ -447,6 +553,7 @@ class EvaluationSpec:
             "feature",
             "features",
             "fusion",
+            "optimizer",
             "train_week",
             "test_week",
             "utility_weight",
@@ -467,6 +574,7 @@ class EvaluationSpec:
             feature=str(data.get("feature", Feature.TCP_CONNECTIONS.value)),
             features=tuple(str(name) for name in features),
             fusion=FusionSpec.from_dict(data.get("fusion", {})),
+            optimizer=OptimizerSpec.from_dict(data.get("optimizer", {})),
             train_week=int(data.get("train_week", 0)),
             test_week=int(data.get("test_week", 1)),
             utility_weight=float(data.get("utility_weight", 0.4)),
@@ -526,6 +634,15 @@ class ScenarioSpec:
             require(
                 fusion.k >= 1,
                 f"scenario {self.name!r}: fusion.k must be >= 1",
+            )
+        if self.evaluation.optimizer.kind == "grid-joint":
+            from repro.optimize import MAX_JOINT_GRID_FEATURES
+
+            require(
+                len(features) <= MAX_JOINT_GRID_FEATURES,
+                f"scenario {self.name!r}: grid-joint optimisation supports at most "
+                f"{MAX_JOINT_GRID_FEATURES} features (the joint grid is exponential); "
+                f"got {len(features)}",
             )
         return self
 

@@ -230,6 +230,117 @@ class TestSweepResultCache:
         assert len(second.results) == 1
         assert second.skipped_count == 0
 
+    def test_flipping_optimizer_forces_reevaluation(self, tmp_path):
+        """The spec hash covers the optimizer config: changing only
+        ``evaluation.optimizer`` must never reuse a stale stored outcome."""
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        store = ResultStore(tmp_path / "results.jsonl")
+        runner = SweepRunner(engine=engine, workers=1)
+        independent = _sweep({"evaluation.optimizer.kind": ["independent"]})
+        first = runner.run(independent, store=store)
+        assert len(first.results) == 1
+        assert first.skipped_count == 0
+        # The identical spec is served from the result cache...
+        again = runner.run(independent, store=store)
+        assert again.skipped_count == 1
+        # ...but a different optimizer hashes differently and re-evaluates.
+        ascent = _sweep({"evaluation.optimizer.kind": ["coordinate-ascent"]})
+        third = runner.run(ascent, store=store)
+        assert third.skipped_count == 0
+        assert len(third.results) == 1
+        records = store.records()
+        assert len(records) == 2
+        assert {record.metrics["optimizer"] for record in records} == {
+            "independent",
+            "coordinate-ascent",
+        }
+        # Tuning an optimizer parameter is a different configuration too.
+        tuned = _sweep({"evaluation.optimizer.num_candidates": [24]})
+        tuned = SweepSpec.from_dict(
+            {
+                **tuned.to_dict(),
+                "axes": {
+                    "evaluation.optimizer.kind": ["coordinate-ascent"],
+                    "evaluation.optimizer.num_candidates": [24],
+                },
+            }
+        )
+        fourth = runner.run(tuned, store=store)
+        assert fourth.skipped_count == 0
+        assert len(fourth.results) == 1
+
+    def test_optimizer_plans_for_the_attacked_feature(self):
+        """The fused objective must target the feature the attack perturbs,
+        not blindly the primary feature."""
+        from repro.core.evaluation import DetectionProtocol
+        from repro.features.definitions import Feature
+        from repro.sweeps import ScenarioSpec
+        from repro.sweeps.runner import planned_attack_feature
+
+        def scenario(attack):
+            return ScenarioSpec.from_dict(
+                {
+                    "name": "s",
+                    "population": {"num_hosts": 4, "num_weeks": 2},
+                    "attack": attack,
+                    "evaluation": {
+                        "features": ["num_tcp_connections", "num_dns_connections"],
+                        "optimizer": {"kind": "coordinate-ascent"},
+                    },
+                }
+            )
+
+        def protocol(spec):
+            return DetectionProtocol(features=spec.evaluation.features_enum())
+
+        dns_attack = scenario({"kind": "mimicry", "feature": "num_dns_connections"})
+        assert planned_attack_feature(dns_attack, protocol(dns_attack)) == (
+            Feature.DNS_CONNECTIONS
+        )
+        optimizer = dns_attack.evaluation.optimizer.build(
+            weight=0.4,
+            attack_sizes=(10.0,),
+            attack_feature=planned_attack_feature(dns_attack, protocol(dns_attack)),
+        )
+        objective = optimizer.objective()
+        assert objective.attack_feature == Feature.DNS_CONNECTIONS
+        assert objective.target_index(protocol(dns_attack).features) == 1
+
+        # No attack, or an attack outside the evaluated set, plans for the
+        # primary feature.
+        no_attack = scenario({"kind": "none"})
+        assert planned_attack_feature(no_attack, protocol(no_attack)) is None
+        outside = scenario({"kind": "botnet", "feature": "num_udp_connections"})
+        assert planned_attack_feature(outside, protocol(outside)) is None
+
+    def test_v2_record_without_optimizer_fields_still_readable(self, tmp_path):
+        """Pre-optimizer (schema 2) stores load fine: missing fields read as
+        heuristic-only selection."""
+        from repro.core.experiment import ScenarioOutcome
+        from repro.sweeps import ScenarioSpec
+
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        store = ResultStore(tmp_path / "results.jsonl")
+        SweepRunner(engine=engine, workers=1).run(
+            _sweep({"policy.kind": ["homogeneous"]}), store=store
+        )
+        record = store.records()[0]
+        payload = record.to_dict()
+        payload["schema"] = 2
+        del payload["spec"]["evaluation"]["optimizer"]
+        for key in ("optimizer", "objective_value", "optimizer_iterations"):
+            del payload["metrics"][key]
+        (tmp_path / "v2.jsonl").write_text(json.dumps(payload) + "\n", encoding="utf-8")
+
+        v2_record = ResultStore(tmp_path / "v2.jsonl").records()[0]
+        assert v2_record.schema == 2
+        spec = ScenarioSpec.from_dict(v2_record.spec)
+        assert spec.evaluation.optimizer.kind == "none"
+        outcome = ScenarioOutcome.from_dict(v2_record.metrics)
+        assert outcome.optimizer == "none"
+        assert outcome.objective_value is None
+        assert outcome.optimizer_iterations == 0
+
 
 class TestMultiFeatureScenarios:
     def _fusion_sweep(self, tmp_path):

@@ -239,6 +239,138 @@ class TestFeatureSetSpecs:
         )
         assert SweepSpec.from_toml(sweep.to_toml()) == sweep
 
+
+class TestOptimizerSpecs:
+    def _scenario(self, **evaluation):
+        return ScenarioSpec.from_dict(
+            {
+                "name": "s",
+                "population": {"num_hosts": 4, "num_weeks": 2},
+                "evaluation": evaluation,
+            }
+        )
+
+    def test_default_is_heuristic_only(self):
+        scenario = self._scenario()
+        assert scenario.evaluation.optimizer.kind == "none"
+        assert scenario.evaluation.optimizer.build(weight=0.4, attack_sizes=(10.0,)) is None
+
+    def test_kinds_build_the_right_optimizers(self):
+        from repro.optimize import (
+            CoordinateAscentOptimizer,
+            GridJointOptimizer,
+            IndependentOptimizer,
+        )
+
+        built = {
+            kind: self._scenario(optimizer={"kind": kind}).evaluation.optimizer.build(
+                weight=0.3, attack_sizes=(5.0, 25.0)
+            )
+            for kind in ("independent", "coordinate-ascent", "grid-joint")
+        }
+        assert isinstance(built["independent"], IndependentOptimizer)
+        assert isinstance(built["coordinate-ascent"], CoordinateAscentOptimizer)
+        assert isinstance(built["grid-joint"], GridJointOptimizer)
+        for optimizer in built.values():
+            assert optimizer.weight == 0.3
+            assert optimizer.attack_sizes == (5.0, 25.0)
+
+    def test_num_candidates_zero_keeps_optimizer_default(self):
+        from repro.optimize import CoordinateAscentOptimizer
+
+        default = self._scenario(
+            optimizer={"kind": "coordinate-ascent"}
+        ).evaluation.optimizer.build(weight=0.4, attack_sizes=())
+        tuned = self._scenario(
+            optimizer={"kind": "coordinate-ascent", "num_candidates": 24}
+        ).evaluation.optimizer.build(weight=0.4, attack_sizes=())
+        assert default.num_candidates == CoordinateAscentOptimizer.num_candidates
+        assert tuned.num_candidates == 24
+
+    def test_bad_optimizer_config_rejected(self):
+        with pytest.raises(ValidationError, match="optimizer.kind"):
+            self._scenario(optimizer={"kind": "annealing"})
+        with pytest.raises(ValidationError, match="num_candidates"):
+            self._scenario(optimizer={"kind": "grid-joint", "num_candidates": 1})
+        with pytest.raises(ValidationError, match="max_sweeps"):
+            self._scenario(optimizer={"kind": "coordinate-ascent", "max_sweeps": 0})
+
+    def test_grid_joint_feature_count_capped_at_load(self):
+        with pytest.raises(ValidationError, match="grid-joint"):
+            self._scenario(
+                features=[
+                    "num_tcp_connections",
+                    "num_dns_connections",
+                    "num_udp_connections",
+                    "num_http_connections",
+                ],
+                optimizer={"kind": "grid-joint"},
+            )
+
+    def test_optimizer_kind_is_a_sweepable_axis(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "opt"},
+                "scenario": {
+                    "population": {"num_hosts": 4, "num_weeks": 2},
+                    "evaluation": {
+                        "features": ["num_tcp_connections", "num_dns_connections"],
+                    },
+                },
+                "axes": {
+                    "evaluation.optimizer.kind": ["independent", "coordinate-ascent"],
+                    "evaluation.optimizer.num_candidates": [16, 32],
+                },
+            }
+        )
+        scenarios = sweep.expand()
+        assert len(scenarios) == 4
+        kinds = {
+            (s.evaluation.optimizer.kind, s.evaluation.optimizer.num_candidates)
+            for s in scenarios
+        }
+        # num_candidates is inert for independent selection and normalises
+        # away; it only distinguishes the joint scenarios.
+        assert kinds == {
+            ("independent", 0),
+            ("coordinate-ascent", 16),
+            ("coordinate-ascent", 32),
+        }
+        assert SweepSpec.from_toml(sweep.to_toml()) == sweep
+
+    def test_optimizer_config_changes_spec_hash(self):
+        from repro.sweeps import scenario_spec_hash
+
+        base = self._scenario(optimizer={"kind": "independent"})
+        flipped = self._scenario(optimizer={"kind": "coordinate-ascent"})
+        tuned = self._scenario(optimizer={"kind": "coordinate-ascent", "num_candidates": 24})
+        hashes = {scenario_spec_hash(s) for s in (base, flipped, tuned)}
+        assert len(hashes) == 3
+
+    def test_inert_optimizer_params_normalise_to_identical_hashes(self):
+        """Parameters the selected kind ignores must not produce "different"
+        scenarios: equivalent configurations hash identically, so the sweep
+        result cache can dedupe them."""
+        from repro.sweeps import scenario_spec_hash
+
+        plain = self._scenario(optimizer={"kind": "independent"})
+        with_inert = self._scenario(
+            optimizer={"kind": "independent", "max_sweeps": 4, "num_candidates": 24}
+        )
+        assert plain == with_inert
+        assert scenario_spec_hash(plain) == scenario_spec_hash(with_inert)
+        grid = self._scenario(optimizer={"kind": "grid-joint", "num_candidates": 8})
+        grid_inert = self._scenario(
+            optimizer={"kind": "grid-joint", "num_candidates": 8, "tolerance": 0.5}
+        )
+        assert scenario_spec_hash(grid) == scenario_spec_hash(grid_inert)
+        # coordinate-ascent uses every field, so nothing is dropped.
+        ascent = self._scenario(
+            optimizer={"kind": "coordinate-ascent", "max_sweeps": 4, "tolerance": 0.5}
+        )
+        assert ascent.evaluation.optimizer.max_sweeps == 4
+        assert ascent.evaluation.optimizer.tolerance == 0.5
+
     def test_features_axis_sweeps_feature_set_size(self):
         sweep = SweepSpec.from_dict(
             {
@@ -371,6 +503,7 @@ class TestBuiltinCatalog:
     def test_catalog_names(self):
         assert builtin_sweep_names() == [
             "attack-intensity",
+            "co-optimization",
             "enterprise-scaling",
             "feature-fusion",
             "policy-grid",
