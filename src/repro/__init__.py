@@ -18,6 +18,8 @@ The package is organised as:
 * :mod:`repro.attacks` — naive / mimicry attackers, scan / DDoS / spam
   primitives, the Storm zombie model and attack overlay machinery.
 * :mod:`repro.experiments` — one driver per paper figure/table.
+* :mod:`repro.temporal` — the threshold lifecycle: retrain schedules,
+  population drift statistics, timeline evaluation and staleness reports.
 * :mod:`repro.sweeps` — declarative scenario/sweep specs, the parallel sweep
   runner, the JSONL result store and the ``repro`` CLI.
 
@@ -51,6 +53,8 @@ from repro.core.thresholds import (
 from repro.engine import EngineStats, GenerationReport, PopulationCache, PopulationEngine
 from repro.features.definitions import Feature, PAPER_FEATURES
 from repro.sweeps import ResultStore, ScenarioSpec, SweepRunner, SweepSpec
+from repro.temporal import RetrainSchedule, evaluate_timeline, staleness_report
+from repro.workload.drift import DriftComponent, DriftModel
 from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation, generate_enterprise
 
 __version__ = "1.0.0"
@@ -70,6 +74,11 @@ __all__ = [
     "SweepSpec",
     "SweepRunner",
     "ResultStore",
+    "RetrainSchedule",
+    "evaluate_timeline",
+    "staleness_report",
+    "DriftModel",
+    "DriftComponent",
     "ConfigurationPolicy",
     "HomogeneousPolicy",
     "FullDiversityPolicy",

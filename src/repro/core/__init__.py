@@ -53,8 +53,10 @@ from repro.core.evaluation import (
     HostPerformance,
     PolicyEvaluation,
     detection_training_distributions,
+    detection_training_window_distributions,
     evaluate_policy,
     evaluate_policy_on_feature,
+    measure_assignment,
     training_distributions,
     weekly_train_test_pairs,
 )
@@ -97,8 +99,10 @@ __all__ = [
     "PolicyEvaluation",
     "evaluate_policy",
     "evaluate_policy_on_feature",
+    "measure_assignment",
     "training_distributions",
     "detection_training_distributions",
+    "detection_training_window_distributions",
     "weekly_train_test_pairs",
     "ExperimentContext",
     "PolicyComparison",

@@ -357,17 +357,20 @@ def training_distributions(
     host with no active bins at all falls back to its full (all-zero) series
     so that a threshold can still be computed.
     """
-    distributions: Dict[int, EmpiricalDistribution] = {}
-    for host_id, matrix in matrices.items():
-        series = matrix.week(week).series(feature)
-        values = np.asarray(series.values)
-        if active_bins_only:
-            active = values[values > 0]
-            values = active if active.size else values
-        # Tag the measurement bin width so grouping never silently pools
-        # per-bin counts observed over incompatible windows.
-        distributions[host_id] = EmpiricalDistribution(values, bin_width=series.bin_width)
-    return distributions
+    return {
+        host_id: _training_distribution(matrix.week(week).series(feature), active_bins_only)
+        for host_id, matrix in matrices.items()
+    }
+
+
+def _training_distribution(series, active_bins_only: bool) -> EmpiricalDistribution:
+    values = np.asarray(series.values)
+    if active_bins_only:
+        active = values[values > 0]
+        values = active if active.size else values
+    # Tag the measurement bin width so grouping never silently pools
+    # per-bin counts observed over incompatible windows.
+    return EmpiricalDistribution(values, bin_width=series.bin_width)
 
 
 def detection_training_distributions(
@@ -381,6 +384,34 @@ def detection_training_distributions(
         feature: training_distributions(matrices, feature, week, active_bins_only)
         for feature in features
     }
+
+
+def detection_training_window_distributions(
+    matrices: Mapping[int, FeatureMatrix],
+    features: Iterable[Feature],
+    start_week: int,
+    end_week: int,
+    active_bins_only: bool = True,
+) -> Dict[Feature, Dict[int, EmpiricalDistribution]]:
+    """Training distributions pooled over the contiguous weeks ``[start, end)``.
+
+    The rolling-training-window form of
+    :func:`detection_training_distributions`: re-optimisation schedules train
+    on the last ``k`` completed weeks rather than a single fixed one.  A
+    one-week window is bit-identical to the single-week helper (the slice is
+    the same bins).  Out-of-range windows raise :class:`ValueError` via
+    :meth:`~repro.features.timeseries.FeatureMatrix.week_range`.
+    """
+    distributions: Dict[Feature, Dict[int, EmpiricalDistribution]] = {
+        feature: {} for feature in features
+    }
+    for host_id, matrix in matrices.items():
+        window = matrix.week_range(start_week, end_week)
+        for feature in distributions:
+            distributions[feature][host_id] = _training_distribution(
+                window.series(feature), active_bins_only
+            )
+    return distributions
 
 
 def _adapt_attack_builder(
@@ -462,8 +493,6 @@ def evaluate_policy(
     """
     require(len(matrices) > 0, "matrices must cover at least one host")
     features = protocol.features
-    fusion = protocol.fusion
-    builder = _adapt_attack_builder(attack_builder)
 
     training = detection_training_distributions(
         matrices, features, protocol.train_week, active_bins_only=protocol.train_on_active_bins
@@ -471,8 +500,53 @@ def evaluate_policy(
     assignment = policy.assign(
         training,
         grouping_statistic_percentile=protocol.grouping_statistic_percentile,
-        fusion=fusion,
+        fusion=protocol.fusion,
     )
+
+    performances = measure_assignment(
+        matrices, assignment, protocol, attack_builder=attack_builder
+    )
+
+    return PolicyEvaluation(
+        policy_name=policy.name,
+        protocol=protocol,
+        assignment=assignment,
+        performances=performances,
+    )
+
+
+def measure_assignment(
+    matrices: Mapping[int, FeatureMatrix],
+    assignment,
+    protocol: DetectionProtocol,
+    attack_builder: Optional[Union[AttackBuilder, DetectionAttackBuilder]] = None,
+    test_week: Optional[int] = None,
+    attack_assignment=None,
+) -> Dict[int, HostPerformance]:
+    """Measure an already computed threshold assignment on one test week.
+
+    This is the measurement half of :func:`evaluate_policy` (which is
+    ``assign`` + ``measure``): given the per-feature
+    :class:`~repro.core.policies.DetectionAssignment` in force, score every
+    host's per-feature and fused (FP, FN) on ``test_week`` (defaults to the
+    protocol's).  The timeline evaluator (:mod:`repro.temporal`) calls it
+    once per deployed week, so a W-week timeline pays for training and
+    threshold selection only when the schedule actually retrains — not once
+    per week.
+
+    ``attack_assignment`` optionally names a *different* assignment whose
+    thresholds are handed to the attack builder: a mimicry attacker that
+    profiled the deployment once keeps evading those stale thresholds even
+    after the defender retrains (the schedule-tracking attacker passes the
+    in-force assignment instead).  ``None`` hands the builder the measuring
+    assignment's thresholds, exactly as the one-shot evaluation does.
+    """
+    require(len(matrices) > 0, "matrices must cover at least one host")
+    features = protocol.features
+    fusion = protocol.fusion
+    builder = _adapt_attack_builder(attack_builder)
+    week = protocol.test_week if test_week is None else int(test_week)
+    require(week >= 0, "test_week must be non-negative")
 
     performances: Dict[int, HostPerformance] = {}
     for host_id, matrix in matrices.items():
@@ -484,7 +558,7 @@ def evaluate_policy(
             feature: ThresholdDetector(host_id=host_id, feature=feature, threshold=thresholds[feature])
             for feature in features
         }
-        test_matrix = matrix.week(protocol.test_week)
+        test_matrix = matrix.week(week)
         benign = {feature: test_matrix.series(feature) for feature in features}
 
         feature_counts = {
@@ -501,7 +575,14 @@ def evaluate_policy(
         alarm_raised: Optional[bool] = None
         injections: Dict[Feature, InjectedSeries] = {}
         if builder is not None:
-            attack = builder(host_id, test_matrix, thresholds)
+            if attack_assignment is None:
+                attack_thresholds = thresholds
+            else:
+                attack_thresholds = {
+                    feature: attack_assignment.for_feature(feature).threshold_of(host_id)
+                    for feature in features
+                }
+            attack = builder(host_id, test_matrix, attack_thresholds)
             if attack is not None:
                 injections = _feature_injections(attack, benign)
                 for feature, injected in injections.items():
@@ -552,13 +633,7 @@ def evaluate_policy(
             alarm_raised=alarm_raised,
             feature_alarm_raised=feature_alarm,
         )
-
-    return PolicyEvaluation(
-        policy_name=policy.name,
-        protocol=protocol,
-        assignment=assignment,
-        performances=performances,
-    )
+    return performances
 
 
 def _fused_false_negative_rate(

@@ -9,7 +9,18 @@ policies side by side under identical conditions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -126,6 +137,16 @@ class ScenarioOutcome:
     thresholds were *selected*: the optimizer's name (``"none"`` for plain
     heuristic selection), the population-mean fused objective it achieved on
     the training data, and its total convergence iterations.
+
+    The temporal fields record *when* thresholds were selected.  One-shot
+    evaluations keep the defaults (``schedule="one-shot"``, everything else
+    empty).  Timeline evaluations (see :mod:`repro.temporal`) aggregate the
+    headline metrics over every deployed week (rates and utilities as week
+    means, alarm totals as sums) and carry: the schedule's display name, the
+    deployed week count, the retrain count/weeks, the utility-decay slope
+    (utility lost per week of configuration age; None when the age never
+    varies), the full per-week ``timeline`` table, and the wall-clock spent
+    (re)training.
     """
 
     policy_name: str
@@ -146,6 +167,16 @@ class ScenarioOutcome:
     optimizer: str = "none"
     objective_value: Optional[float] = None
     optimizer_iterations: int = 0
+    schedule: str = "one-shot"
+    num_timeline_weeks: int = 0
+    retrain_count: int = 0
+    retrain_weeks: Tuple[int, ...] = ()
+    utility_decay_slope: Optional[float] = None
+    timeline: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    training_cost_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "retrain_weeks", tuple(int(w) for w in self.retrain_weeks))
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready mapping of every metric."""
@@ -168,6 +199,13 @@ class ScenarioOutcome:
             "optimizer": self.optimizer,
             "objective_value": self.objective_value,
             "optimizer_iterations": self.optimizer_iterations,
+            "schedule": self.schedule,
+            "num_timeline_weeks": self.num_timeline_weeks,
+            "retrain_count": self.retrain_count,
+            "retrain_weeks": list(self.retrain_weeks),
+            "utility_decay_slope": self.utility_decay_slope,
+            "timeline": {week: dict(values) for week, values in self.timeline.items()},
+            "training_cost_seconds": self.training_cost_seconds,
         }
 
     @classmethod
@@ -175,7 +213,8 @@ class ScenarioOutcome:
         """Rebuild an outcome from :meth:`to_dict` output.
 
         Fields absent from ``data`` (e.g. records written before the
-        feature-set redesign) fall back to their single-feature defaults.
+        feature-set redesign or the temporal subsystem) fall back to their
+        one-shot single-feature defaults.
         """
         kwargs = {key: data[key] for key in cls.__dataclass_fields__ if key in data}
         return cls(**kwargs)

@@ -297,6 +297,7 @@ class ConfigurationPolicy:
         training_distributions: Mapping[Feature, Mapping[int, EmpiricalDistribution]],
         grouping_statistic_percentile: float = DEFAULT_PERCENTILE,
         fusion: Optional[FusionRule] = None,
+        warm_start: Optional[DetectionAssignment] = None,
     ) -> DetectionAssignment:
         """Compute per-host thresholds for every feature of a detection protocol.
 
@@ -325,6 +326,13 @@ class ConfigurationPolicy:
             The protocol's fusion rule, defining the fused objective the
             optimizer scores/maximises.  ``None`` (the heuristic-only
             default) means ``any``-fusion when an optimizer is present.
+        warm_start:
+            A previously computed :class:`DetectionAssignment` for the same
+            feature set (e.g. last deployment's, during rolling
+            re-optimisation).  Joint optimizers seed each group's candidate
+            grids and starting vector from it when the groupings align;
+            heuristic and independent selection ignore it (their answer does
+            not depend on a starting point).
         """
         require(len(training_distributions) > 0, "training data must cover at least one feature")
         host_sets = {frozenset(dists) for dists in training_distributions.values()}
@@ -334,6 +342,7 @@ class ConfigurationPolicy:
                 training_distributions,
                 grouping_statistic_percentile,
                 self._optimizer.objective(fusion),
+                warm_start=warm_start,
             )
         per_feature = {
             feature: self.compute_thresholds(
@@ -358,13 +367,15 @@ class ConfigurationPolicy:
         training_distributions: Mapping[Feature, Mapping[int, EmpiricalDistribution]],
         grouping_statistic_percentile: float,
         objective: FusedUtilityObjective,
+        warm_start: Optional[DetectionAssignment] = None,
     ) -> DetectionAssignment:
         """Co-optimise the per-feature threshold vector group by group.
 
         One grouping — built from the *primary* (first) feature's grouping
         statistics, as the console would deploy it — is shared by every
         feature, and each group's whole threshold vector is chosen by the
-        optimizer against the fused objective.
+        optimizer against the fused objective (seeded per group from
+        ``warm_start`` when its grouping lines up with the new one).
         """
         features = tuple(training_distributions)
         primary = training_distributions[features[0]]
@@ -373,19 +384,24 @@ class ConfigurationPolicy:
             for host_id, distribution in primary.items()
         }
         grouping = self._grouping.assign(statistics)
+        warm_vectors = self._warm_start_vectors(warm_start, features, grouping.num_groups)
 
         group_thresholds: Dict[Feature, List[float]] = {feature: [] for feature in features}
         thresholds: Dict[Feature, Dict[int, float]] = {feature: {} for feature in features}
         total_iterations = 0
         weighted_objective = 0.0
         num_hosts = 0
-        for group in grouping.groups:
+        for group_index, group in enumerate(grouping.groups):
             members = [
                 {feature: training_distributions[feature][host_id] for feature in features}
                 for host_id in group
             ]
             optimized = self._optimizer.optimize_group(
-                members, features, objective, self._heuristic
+                members,
+                features,
+                objective,
+                self._heuristic,
+                warm_start=warm_vectors[group_index] if warm_vectors is not None else None,
             )
             total_iterations += optimized.iterations
             # The group's objective value IS the mean member utility at the
@@ -416,6 +432,31 @@ class ConfigurationPolicy:
         return DetectionAssignment(
             per_feature=per_feature, policy_name=self._name, optimization=report
         )
+
+    @staticmethod
+    def _warm_start_vectors(
+        warm_start: Optional[DetectionAssignment],
+        features: Tuple[Feature, ...],
+        num_groups: int,
+    ) -> Optional[List[Dict[Feature, float]]]:
+        """Per-group warm-start vectors from a previous assignment, or None.
+
+        The previous solution only transfers when it covers the same feature
+        set and the same number of groups (the grouping strategies order
+        groups deterministically, so index ``g`` is the "same" group across
+        consecutive retrains even as membership shifts at the margins).
+        """
+        if warm_start is None or set(warm_start.features) != set(features):
+            return None
+        per_feature = {
+            feature: warm_start.for_feature(feature).group_thresholds for feature in features
+        }
+        if any(len(values) != num_groups for values in per_feature.values()):
+            return None
+        return [
+            {feature: float(per_feature[feature][index]) for feature in features}
+            for index in range(num_groups)
+        ]
 
     def _score_assignment(
         self,

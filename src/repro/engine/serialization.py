@@ -54,6 +54,14 @@ def config_payload(config: EnterpriseConfig) -> dict:
     """
     payload = dataclasses.asdict(config)
     payload["maintenance_weeks"] = list(payload["maintenance_weeks"])
+    # DriftModel round-trips as its nested-dict form (EnterpriseConfig
+    # normalises a mapping back into the dataclass on construction).
+    payload["drift"] = {
+        "components": [
+            dict(component, weeks=list(component["weeks"]))
+            for component in payload["drift"]["components"]
+        ]
+    }
     return payload
 
 

@@ -24,6 +24,7 @@ from repro.experiments.table3_alarms import (
 )
 from repro.experiments.fig4_attacker import AttackerResult, run_fig4
 from repro.experiments.fig5_storm import StormReplayResult, run_fig5
+from repro.experiments.fig6_staleness import StalenessStudyResult, run_fig6
 from repro.experiments.runner import ExperimentSuiteResult, run_all_experiments
 from repro.experiments.report import render_series, render_table
 
@@ -46,6 +47,8 @@ __all__ = [
     "run_fig4",
     "StormReplayResult",
     "run_fig5",
+    "StalenessStudyResult",
+    "run_fig6",
     "ExperimentSuiteResult",
     "run_all_experiments",
     "render_table",

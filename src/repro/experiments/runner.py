@@ -15,6 +15,7 @@ from repro.experiments.fig3_utility import (
 )
 from repro.experiments.fig4_attacker import AttackerResult, run_fig4
 from repro.experiments.fig5_storm import StormReplayResult, run_fig5
+from repro.experiments.fig6_staleness import StalenessStudyResult, run_fig6
 from repro.experiments.table2_best_users import BestUsersResult, run_table2
 from repro.experiments.table3_alarms import (
     AlarmVolumeResult,
@@ -42,6 +43,7 @@ class ExperimentSuiteResult:
     fig5: StormReplayResult
     table3_fused: FusedAlarmVolumeResult
     fig3_cooptimized: CoOptimizedUtilityResult
+    fig6: StalenessStudyResult
 
     def render(self) -> str:
         """Render every experiment's text report, separated by blank lines."""
@@ -55,6 +57,7 @@ class ExperimentSuiteResult:
             self.fig5.render(),
             self.table3_fused.render(),
             self.fig3_cooptimized.render(),
+            self.fig6.render(),
         ]
         return "\n\n".join(sections)
 
@@ -85,4 +88,5 @@ def run_all_experiments(
         fig5=run_fig5(population),
         table3_fused=run_table3_fused(population),
         fig3_cooptimized=run_fig3_cooptimized(population),
+        fig6=run_fig6(population),
     )

@@ -77,9 +77,35 @@ class TimeSeries:
         return TimeSeries(self._values[first:last], self._bin_spec)
 
     def week(self, index: int) -> "TimeSeries":
-        """Return the series for week ``index`` (0-based)."""
-        require(index >= 0, "week index must be non-negative")
-        return self.slice_time(index * WEEK, (index + 1) * WEEK)
+        """Return the series for week ``index`` (0-based).
+
+        Raises :class:`ValueError` when the requested week lies outside the
+        covered span — a silently empty slice would otherwise propagate into
+        empty training distributions and nonsense thresholds.
+        """
+        return self.week_range(index, index + 1)
+
+    def week_range(self, start: int, end: int) -> "TimeSeries":
+        """The contiguous sub-series covering weeks ``[start, end)``.
+
+        This is the rolling-training-window slice: ``week_range(2, 4)`` is
+        weeks 2 and 3 back to back.  Out-of-range windows raise a
+        :class:`ValueError` naming the available range.
+        """
+        require(start >= 0, "week index must be non-negative")
+        require(end > start, "week range must cover at least one week")
+        sliced = self.slice_time(start * WEEK, end * WEEK)
+        available = self.duration / WEEK
+        last = max(int(np.ceil(available)) - 1, 0)
+        # A window whose end runs past the covered span would otherwise come
+        # back silently truncated (or empty) — training on fewer weeks than
+        # the caller asked for.
+        if sliced.num_bins == 0 or end > last + 1:
+            raise ValueError(
+                f"week range [{start}, {end}) is out of range: series covers "
+                f"{available:.2f} week(s) (valid week indices are 0..{last})"
+            )
+        return sliced
 
     def num_weeks(self) -> int:
         """Number of whole weeks covered by the series."""
@@ -197,8 +223,22 @@ class FeatureMatrix:
         return self._series.items()
 
     def week(self, index: int) -> "FeatureMatrix":
-        """Slice every feature series to week ``index``."""
+        """Slice every feature series to week ``index``.
+
+        Raises :class:`ValueError` (naming the available range) when the
+        week lies outside the covered span.
+        """
         return FeatureMatrix(self._host_id, {f: ts.week(index) for f, ts in self._series.items()})
+
+    def week_range(self, start: int, end: int) -> "FeatureMatrix":
+        """Slice every feature series to the contiguous weeks ``[start, end)``.
+
+        The rolling-training-window slice; out-of-range windows raise a
+        :class:`ValueError` naming the available range.
+        """
+        return FeatureMatrix(
+            self._host_id, {f: ts.week_range(start, end) for f, ts in self._series.items()}
+        )
 
     def slice_time(self, start: float, end: float) -> "FeatureMatrix":
         """Slice every feature series to [start, end)."""

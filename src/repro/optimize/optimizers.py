@@ -22,7 +22,7 @@ implementations span the accuracy/cost spectrum:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,19 +90,21 @@ def _feature_grids(
     members: Sequence[MemberDistributions],
     features: Sequence[Feature],
     num_candidates: int,
-    include: Optional[Dict[Feature, float]] = None,
+    include: Sequence[Optional[Mapping[Feature, float]]] = (),
 ) -> List[np.ndarray]:
     """Per-feature candidate grids from the group's pooled distributions.
 
-    ``include`` values (the independent start) are merged into each grid so
-    the search space always contains the status quo.
+    ``include`` vectors (the independent start, a warm start from a previous
+    optimisation) are merged into each grid so the search space always
+    contains the status quo and any known-good prior solution.
     """
+    anchors = [vector for vector in include if vector is not None]
     grids: List[np.ndarray] = []
     for feature in features:
         pooled = EmpiricalDistribution.pooled([member[feature] for member in members])
         grid = candidate_threshold_grid(pooled, num_candidates)
-        if include is not None:
-            grid = np.unique(np.append(grid, include[feature]))
+        if anchors:
+            grid = np.unique(np.append(grid, [vector[feature] for vector in anchors]))
         grids.append(grid)
     return grids
 
@@ -143,8 +145,17 @@ class ThresholdOptimizer:
         features: Sequence[Feature],
         objective: FusedUtilityObjective,
         heuristic: ThresholdHeuristic,
+        warm_start: Optional[Mapping[Feature, float]] = None,
     ) -> GroupOptimization:
-        """Choose the threshold vector the whole group will share."""
+        """Choose the threshold vector the whole group will share.
+
+        ``warm_start`` optionally names a previously selected vector for this
+        group (a rolling re-optimisation handing last deployment's solution
+        back in).  Joint optimizers merge it into their candidate grids and
+        start from whichever of (independent heuristic, warm start) scores
+        better, which typically converges in fewer sweeps; the independent
+        wrapper ignores it (its selection is the heuristic's by definition).
+        """
         raise NotImplementedError
 
     def _validate_common(self) -> None:
@@ -180,6 +191,7 @@ class IndependentOptimizer(ThresholdOptimizer):
         features: Sequence[Feature],
         objective: FusedUtilityObjective,
         heuristic: ThresholdHeuristic,
+        warm_start: Optional[Mapping[Feature, float]] = None,
     ) -> GroupOptimization:
         features = tuple(features)
         thresholds = independent_thresholds(members, features, heuristic)
@@ -224,12 +236,20 @@ class CoordinateAscentOptimizer(ThresholdOptimizer):
         features: Sequence[Feature],
         objective: FusedUtilityObjective,
         heuristic: ThresholdHeuristic,
+        warm_start: Optional[Mapping[Feature, float]] = None,
     ) -> GroupOptimization:
         features = tuple(features)
         start = independent_thresholds(members, features, heuristic)
-        grids = _feature_grids(members, features, self.num_candidates, include=start)
+        grids = _feature_grids(
+            members, features, self.num_candidates, include=(start, warm_start)
+        )
         vector = np.array([start[feature] for feature in features])
         best = objective.score(members, features, vector)
+        if warm_start is not None:
+            warm_vector = np.array([warm_start[feature] for feature in features])
+            warm_score = objective.score(members, features, warm_vector)
+            if warm_score > best:
+                best, vector = warm_score, warm_vector
         iterations = 0
         for _ in range(self.max_sweeps):
             iterations += 1
@@ -274,6 +294,7 @@ class GridJointOptimizer(ThresholdOptimizer):
         features: Sequence[Feature],
         objective: FusedUtilityObjective,
         heuristic: ThresholdHeuristic,
+        warm_start: Optional[Mapping[Feature, float]] = None,
     ) -> GroupOptimization:
         features = tuple(features)
         require(
@@ -282,7 +303,9 @@ class GridJointOptimizer(ThresholdOptimizer):
             f"(the joint grid is exponential); got {len(features)}",
         )
         start = independent_thresholds(members, features, heuristic)
-        grids = _feature_grids(members, features, self.num_candidates, include=start)
+        grids = _feature_grids(
+            members, features, self.num_candidates, include=(start, warm_start)
+        )
         mesh = np.meshgrid(*grids, indexing="ij")
         candidates = np.stack([axis.ravel() for axis in mesh], axis=1)
         scores = objective.group_scores(members, features, candidates)

@@ -40,12 +40,14 @@ from repro.sweeps.spec import (
     OPTIMIZER_KINDS,
     POLICY_KINDS,
     AttackSpec,
+    DriftSpec,
     EvaluationSpec,
     FusionSpec,
     OptimizerSpec,
     PolicySpec,
     PopulationSpec,
     ScenarioSpec,
+    ScheduleSpec,
     SweepSpec,
     derive_scenario_seed,
     scenario_spec_hash,
@@ -75,6 +77,8 @@ __all__ = [
     "scenario_spec_hash",
     "FusionSpec",
     "OptimizerSpec",
+    "DriftSpec",
+    "ScheduleSpec",
     "POLICY_KINDS",
     "HEURISTIC_KINDS",
     "ATTACK_KINDS",

@@ -9,7 +9,8 @@ and also reachable as ``python -m repro``::
         --workers 4 --cache-dir ~/.cache/repro/populations
     repro sweep report sweep-policy-grid.jsonl
     repro sweep report store.jsonl --pivot spec.policy.kind spec.attack.size
-    repro experiments --paper-scale           # Figures 1-5, Tables 2-3
+    repro timeline sweep-retrain-cadence.jsonl  # utility-vs-week tables
+    repro experiments --paper-scale           # Figures 1-6, Tables 2-3
 """
 
 from __future__ import annotations
@@ -136,11 +137,11 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep_report(args: argparse.Namespace) -> int:
-    store = ResultStore(args.store)
+def _store_records(store: ResultStore):
+    """Records of an existing, non-empty store; None (after a stderr message) otherwise."""
     if not store.path.is_file():
         print(f"error: result store not found: {store.path}", file=sys.stderr)
-        return 1
+        return None
     records = store.records()
     if not records:
         print(
@@ -148,6 +149,14 @@ def _cmd_sweep_report(args: argparse.Namespace) -> int:
             f"populate it with `repro sweep run ... --store {store.path}`",
             file=sys.stderr,
         )
+        return None
+    return records
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    records = _store_records(store)
+    if records is None:
         return 1
     if args.pivot:
         rows_field, cols_field = args.pivot
@@ -166,6 +175,64 @@ def _cmd_sweep_report(args: argparse.Namespace) -> int:
         return 0
     metrics = args.metrics if args.metrics else list(HEADLINE_METRICS)
     print(comparison_table(records, metrics=metrics))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    """Render utility-vs-week tables for timeline records in a result store."""
+    from repro.experiments.report import render_table
+
+    store = ResultStore(args.store)
+    records = _store_records(store)
+    if records is None:
+        return 1
+    timeline_records = [record for record in records if record.metrics.get("timeline")]
+    if args.scenario:
+        timeline_records = [
+            record for record in timeline_records if args.scenario in record.scenario
+        ]
+    if not timeline_records:
+        print(
+            f"error: {store.path} holds no timeline records"
+            + (f" matching {args.scenario!r}" if args.scenario else "")
+            + "; run a sweep with a timeline schedule "
+            "(e.g. `repro sweep run retrain-cadence`)",
+            file=sys.stderr,
+        )
+        return 1
+    weeks = sorted(
+        {int(week) for record in timeline_records for week in record.metrics["timeline"]}
+    )
+    headers = (
+        ["scenario", "schedule"]
+        + [f"w{week}" for week in weeks]
+        + ["overall", "retrains", "decay/week"]
+    )
+    rows = []
+    for record in timeline_records:
+        metrics = record.metrics
+        table = metrics["timeline"]
+        cells = [
+            table[str(week)].get(args.metric, "-") if str(week) in table else "-"
+            for week in weeks
+        ]
+        slope = metrics.get("utility_decay_slope")
+        rows.append(
+            [record.scenario, metrics.get("schedule", "?")]
+            + cells
+            + [
+                metrics.get(args.metric, "-"),
+                metrics.get("retrain_count", 0),
+                "-" if slope is None else slope,
+            ]
+        )
+    print(
+        render_table(
+            headers,
+            rows,
+            title=f"Timeline — {args.metric} per deployed week",
+        )
+    )
     return 0
 
 
@@ -206,7 +273,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     how = "cache" if report.cache_hit else f"{report.workers} worker(s)"
     print(f"  ready in {time.time() - started:.1f}s (via {how})")
     started = time.time()
-    print("Running the full experiment suite (Figures 1-5, Tables 2-3)...")
+    print(
+        "Running the full experiment suite "
+        "(Figures 1-5, Tables 2-3, plus the Figure 6 staleness extension)..."
+    )
     suite = run_all_experiments(population=population)
     print(f"  completed in {time.time() - started:.1f}s\n")
     print(suite.render())
@@ -272,8 +342,27 @@ def build_parser() -> argparse.ArgumentParser:
     listing = sweep_sub.add_parser("list", help="show the packaged scenario library")
     listing.set_defaults(handler=_cmd_sweep_list)
 
+    timeline = subcommands.add_parser(
+        "timeline",
+        help="utility-vs-week tables for timeline (retrain-schedule) results",
+    )
+    timeline.add_argument("store", help="JSONL result store written by `repro sweep run`")
+    timeline.add_argument(
+        "--metric",
+        default="mean_utility",
+        help="per-week metric to tabulate (default: mean_utility)",
+    )
+    timeline.add_argument(
+        "--scenario",
+        default=None,
+        help="only show scenarios whose name contains this substring",
+    )
+    timeline.set_defaults(handler=_cmd_timeline)
+
     experiments = subcommands.add_parser(
-        "experiments", help="run the full paper experiment suite (Figures 1-5, Tables 2-3)"
+        "experiments",
+        help="run the full paper experiment suite "
+        "(Figures 1-5, Tables 2-3, plus the Figure 6 staleness extension)",
     )
     experiments.add_argument(
         "--paper-scale", action="store_true", help="use 350 hosts and 5 weeks"

@@ -31,9 +31,15 @@ from repro.utils.validation import ValidationError, require
 #: ``num_features`` and the ``per_feature`` table); 3 = optimizer provenance
 #: (``optimizer``, ``objective_value``, ``optimizer_iterations`` record how
 #: the thresholds were selected, and the spec carries
-#: ``evaluation.optimizer``).  Older records are still readable — missing
-#: optimizer fields read as heuristic-only selection (``"none"``).
-RESULT_SCHEMA_VERSION = 3
+#: ``evaluation.optimizer``); 4 = temporal provenance (``schedule``,
+#: ``num_timeline_weeks``, ``retrain_count``/``retrain_weeks``,
+#: ``utility_decay_slope``, the per-week ``timeline`` table and
+#: ``training_cost_seconds`` record *when* thresholds were selected, and the
+#: spec carries ``evaluation.schedule`` plus ``population.drift``).  Older
+#: records are still readable — missing optimizer fields read as
+#: heuristic-only selection (``"none"``), missing temporal fields as the
+#: classic one-shot evaluation.
+RESULT_SCHEMA_VERSION = 4
 
 PathLike = Union[str, Path]
 

@@ -56,7 +56,14 @@ def planned_attack_feature(spec: ScenarioSpec, protocol: DetectionProtocol):
 
 
 def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> ScenarioOutcome:
-    """Evaluate one scenario spec against an already generated population."""
+    """Evaluate one scenario spec against an already generated population.
+
+    Scenarios with a one-shot schedule run the classic single train/test
+    evaluation; timeline schedules (``evaluation.schedule.kind`` of
+    ``never``/``every-k-weeks``/``drift-triggered``) run
+    :func:`~repro.temporal.evaluate_timeline` over every remaining
+    population week and store the aggregated staleness outcome.
+    """
     spec.validate()
     protocol = DetectionProtocol(
         features=spec.evaluation.features_enum(),
@@ -73,9 +80,18 @@ def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> Scenar
         attack_sizes=spec.policy.attack_sizes,
         attack_feature=planned_attack_feature(spec, protocol),
     )
+    policy = spec.policy.build(optimizer=optimizer)
+    schedule = spec.evaluation.schedule.build()
+    if schedule is not None:
+        from repro.temporal import evaluate_timeline, timeline_outcome
+
+        result = evaluate_timeline(
+            population, policy, protocol, schedule, attack_builder=attack_builder
+        )
+        return timeline_outcome(result, attack_prevalence=spec.evaluation.attack_prevalence)
     return evaluate_scenario(
         population,
-        spec.policy.build(optimizer=optimizer),
+        policy,
         protocol,
         attack_builder=attack_builder,
         attack_prevalence=spec.evaluation.attack_prevalence,

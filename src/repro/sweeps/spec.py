@@ -30,6 +30,7 @@ from repro.core.fusion import FUSION_RULES, FusionRule
 from repro.features.definitions import Feature
 from repro.sweeps import toml_io
 from repro.utils.validation import ValidationError, require
+from repro.workload.drift import DRIFT_KINDS, DriftModel
 from repro.workload.enterprise import EnterpriseConfig
 
 #: Policy kinds understood by :class:`PolicySpec`.
@@ -39,7 +40,7 @@ POLICY_KINDS = ("homogeneous", "full-diversity", "partial-diversity")
 HEURISTIC_KINDS = ("percentile", "mean-std", "utility", "f-measure")
 
 #: Attack kinds understood by :class:`AttackSpec`.
-ATTACK_KINDS = ("none", "naive", "storm", "mimicry", "botnet")
+ATTACK_KINDS = ("none", "naive", "storm", "mimicry", "mimicry-vs-schedule", "botnet")
 
 #: Threshold optimizers understood by :class:`OptimizerSpec`.
 OPTIMIZER_KINDS = ("none", "independent", "coordinate-ascent", "grid-joint")
@@ -90,6 +91,78 @@ def _choice(value: str, allowed: Sequence[str], label: str) -> None:
 
 
 @dataclass(frozen=True)
+class DriftSpec:
+    """Named drift layered on the population (see :mod:`repro.workload.drift`).
+
+    ``kind`` is ``"none"`` or a "+"-joined composition of
+    :data:`~repro.workload.drift.DRIFT_KINDS`
+    (``"seasonal+flash-crowd"``); the remaining fields parameterise the
+    components (each kind reads only its relevant subset), and every field is
+    sweepable as a ``population.drift.*`` axis.
+    """
+
+    kind: str = "none"
+    scale: float = 1.0
+    period_weeks: int = 4
+    probability: float = 0.15
+    weeks: Tuple[int, ...] = ()
+    magnitude: float = 3.0
+
+    def build(self) -> DriftModel:
+        """The :class:`~repro.workload.drift.DriftModel` this spec describes."""
+        return DriftModel.from_kinds(
+            self.kind,
+            scale=self.scale,
+            period_weeks=self.period_weeks,
+            probability=self.probability,
+            weeks=self.weeks,
+            magnitude=self.magnitude,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "scale": self.scale,
+            "period_weeks": self.period_weeks,
+            "probability": self.probability,
+            "weeks": list(self.weeks),
+            "magnitude": self.magnitude,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DriftSpec":
+        spec = _from_mapping(cls, data, "population.drift")
+        spec = replace(spec, weeks=tuple(int(week) for week in spec.weeks))
+        for kind in spec.kind.split("+"):
+            kind = kind.strip()
+            if kind and kind != "none":
+                _choice(kind, DRIFT_KINDS, "population.drift.kind")
+        # Normalise the no-drift spec so equivalent configurations hash
+        # identically in the sweep result cache.
+        if spec.build() == DriftModel():
+            return cls()
+        # Likewise zero fields that are inert for the selected kind(s) —
+        # each component only reads its relevant subset (mirrors
+        # ScheduleSpec/OptimizerSpec.from_dict).
+        kinds = {part.strip() for part in spec.kind.split("+")}
+        defaults = cls()
+        return cls(
+            kind=spec.kind,
+            scale=spec.scale,
+            period_weeks=(
+                spec.period_weeks if "seasonal" in kinds else defaults.period_weeks
+            ),
+            probability=(
+                spec.probability
+                if kinds & {"role-churn", "fleet-turnover"}
+                else defaults.probability
+            ),
+            weeks=spec.weeks if "flash-crowd" in kinds else defaults.weeks,
+            magnitude=spec.magnitude if "flash-crowd" in kinds else defaults.magnitude,
+        )
+
+
+@dataclass(frozen=True)
 class PopulationSpec:
     """The enterprise population a scenario evaluates against."""
 
@@ -100,6 +173,7 @@ class PopulationSpec:
     with_mobility: bool = True
     with_maintenance: bool = True
     week_drift_scale: float = 1.0
+    drift: DriftSpec = field(default_factory=DriftSpec)
 
     def to_config(self) -> EnterpriseConfig:
         """The :class:`EnterpriseConfig` this spec describes."""
@@ -111,6 +185,7 @@ class PopulationSpec:
             with_mobility=self.with_mobility,
             with_maintenance=self.with_maintenance,
             week_drift_scale=self.week_drift_scale,
+            drift=self.drift.build(),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -122,11 +197,15 @@ class PopulationSpec:
             "with_mobility": self.with_mobility,
             "with_maintenance": self.with_maintenance,
             "week_drift_scale": self.week_drift_scale,
+            "drift": self.drift.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PopulationSpec":
-        spec = _from_mapping(cls, data, "population")
+        require(isinstance(data, Mapping), "population must be a table/dict")
+        drift = DriftSpec.from_dict(data.get("drift", {}))
+        flat = {key: value for key, value in data.items() if key != "drift"}
+        spec = replace(_from_mapping(cls, flat, "population"), drift=drift)
         spec.to_config()  # delegate range validation to EnterpriseConfig
         return spec
 
@@ -281,7 +360,7 @@ class AttackSpec:
                 return attacker.build(matrix, np.random.default_rng((self.seed, host_id)))
 
             return build_naive
-        if self.kind == "mimicry":
+        if self.kind in ("mimicry", "mimicry-vs-schedule"):
             from repro.attacks.mimicry import MimicryAttacker
 
             target = self.target_feature(primary_feature)
@@ -296,6 +375,13 @@ class AttackSpec:
                 )
                 return attacker.build(matrix, np.random.default_rng((self.seed, host_id)))
 
+            # On a timeline, plain mimicry keeps evading the thresholds it
+            # profiled at the initial deployment; the schedule-tracking
+            # variant re-profiles and evades whatever is in force on the
+            # week being attacked (see repro.temporal.evaluate_timeline).
+            # One-shot evaluations have a single deployment, so the two
+            # kinds coincide there.
+            build_mimicry.tracks_schedule = self.kind == "mimicry-vs-schedule"
             return build_mimicry
         if self.kind == "botnet":
             return self._build_botnet_builder(primary_feature)
@@ -495,6 +581,71 @@ class OptimizerSpec:
 
 
 @dataclass(frozen=True)
+class ScheduleSpec:
+    """When thresholds are re-optimised over a multi-week timeline.
+
+    ``kind = "one-shot"`` (the default) keeps today's single train/test
+    evaluation, bit for bit.  The timeline kinds
+    (:data:`~repro.temporal.RETRAIN_KINDS`: ``never``, ``every-k-weeks``,
+    ``drift-triggered``) switch the scenario onto
+    :func:`~repro.temporal.evaluate_timeline`: every week from the
+    protocol's test week through the population's last week is scored
+    against the configuration in force that week, with ``period`` /
+    ``threshold`` / ``window_weeks`` parameterising the
+    :class:`~repro.temporal.RetrainSchedule`.  Every field is sweepable as
+    an ``evaluation.schedule.*`` axis.
+    """
+
+    kind: str = "one-shot"
+    period: int = 1
+    threshold: float = 0.05
+    window_weeks: int = 1
+
+    def build(self):
+        """The :class:`~repro.temporal.RetrainSchedule`, or None for one-shot."""
+        if self.kind == "one-shot":
+            return None
+        from repro.temporal import RetrainSchedule
+
+        return RetrainSchedule(
+            kind=self.kind,
+            period=self.period,
+            threshold=self.threshold,
+            window_weeks=self.window_weeks,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "period": self.period,
+            "threshold": self.threshold,
+            "window_weeks": self.window_weeks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScheduleSpec":
+        from repro.temporal import RETRAIN_KINDS
+
+        spec = _from_mapping(cls, data, "evaluation.schedule")
+        _choice(spec.kind, ("one-shot",) + RETRAIN_KINDS, "evaluation.schedule.kind")
+        require(spec.period >= 1, "evaluation.schedule.period must be >= 1")
+        require(spec.threshold >= 0.0, "evaluation.schedule.threshold must be non-negative")
+        require(spec.window_weeks >= 1, "evaluation.schedule.window_weeks must be >= 1")
+        # Normalise fields that are inert for the selected kind back to their
+        # defaults, so equivalent configurations hash identically in the
+        # sweep result cache (mirrors OptimizerSpec.from_dict).
+        if spec.kind == "one-shot":
+            spec = cls()
+        elif spec.kind == "never":
+            spec = cls(kind=spec.kind, window_weeks=spec.window_weeks)
+        elif spec.kind == "every-k-weeks":
+            spec = cls(kind=spec.kind, period=spec.period, window_weeks=spec.window_weeks)
+        else:
+            spec = cls(kind=spec.kind, threshold=spec.threshold, window_weeks=spec.window_weeks)
+        return spec
+
+
+@dataclass(frozen=True)
 class EvaluationSpec:
     """The train/test protocol and the metrics' fixed parameters.
 
@@ -509,12 +660,19 @@ class EvaluationSpec:
     ``optimizer`` selects how the per-feature thresholds are chosen (see
     :class:`OptimizerSpec`); its fields are sweepable as dotted axes, e.g.
     ``evaluation.optimizer.kind`` or ``evaluation.optimizer.num_candidates``.
+
+    ``schedule`` selects *when* they are chosen (see :class:`ScheduleSpec`):
+    ``one-shot`` keeps the classic single train/test pair, the timeline
+    kinds evaluate every remaining population week under a
+    :class:`~repro.temporal.RetrainSchedule`, sweepable as
+    ``evaluation.schedule.*`` axes.
     """
 
     feature: str = Feature.TCP_CONNECTIONS.value
     features: Tuple[str, ...] = ()
     fusion: FusionSpec = field(default_factory=FusionSpec)
     optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
+    schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
     train_week: int = 0
     test_week: int = 1
     utility_weight: float = 0.4
@@ -540,6 +698,7 @@ class EvaluationSpec:
             "features": list(self.features),
             "fusion": self.fusion.to_dict(),
             "optimizer": self.optimizer.to_dict(),
+            "schedule": self.schedule.to_dict(),
             "train_week": self.train_week,
             "test_week": self.test_week,
             "utility_weight": self.utility_weight,
@@ -554,6 +713,7 @@ class EvaluationSpec:
             "features",
             "fusion",
             "optimizer",
+            "schedule",
             "train_week",
             "test_week",
             "utility_weight",
@@ -575,6 +735,7 @@ class EvaluationSpec:
             features=tuple(str(name) for name in features),
             fusion=FusionSpec.from_dict(data.get("fusion", {})),
             optimizer=OptimizerSpec.from_dict(data.get("optimizer", {})),
+            schedule=ScheduleSpec.from_dict(data.get("schedule", {})),
             train_week=int(data.get("train_week", 0)),
             test_week=int(data.get("test_week", 1)),
             utility_weight=float(data.get("utility_weight", 0.4)),
@@ -621,13 +782,20 @@ class ScenarioSpec:
             f"{weeks} population week(s)",
         )
         features = self.evaluation.features_enum()
-        if self.attack.kind == "mimicry":
+        if self.attack.kind in ("mimicry", "mimicry-vs-schedule"):
             target = self.attack.target_feature(features[0])
             require(
                 target in features,
-                f"scenario {self.name!r}: mimicry targets {target.value!r}, which is "
-                f"not among the evaluated features (the attacker evades a threshold "
-                f"that must be in force)",
+                f"scenario {self.name!r}: {self.attack.kind} targets {target.value!r}, "
+                f"which is not among the evaluated features (the attacker evades a "
+                f"threshold that must be in force)",
+            )
+        schedule = self.evaluation.schedule
+        if schedule.kind != "one-shot":
+            require(
+                schedule.window_weeks <= weeks - 1,
+                f"scenario {self.name!r}: schedule window of {schedule.window_weeks} "
+                f"week(s) cannot fit in {weeks} population week(s)",
             )
         fusion = self.evaluation.fusion
         if fusion.rule == "k_of_n":

@@ -28,6 +28,7 @@ from repro.workload.profiles import (
     sample_host_profile,
 )
 from repro.workload.diurnal import ActivityModel, DiurnalPattern
+from repro.workload.drift import DRIFT_KINDS, DriftComponent, DriftModel
 from repro.workload.mobility import MobilityModel, generate_capture_session
 from repro.workload.generator import HostSeriesGenerator, HostTraceGenerator
 from repro.workload.enterprise import (
@@ -53,6 +54,9 @@ __all__ = [
     "sample_host_profile",
     "DiurnalPattern",
     "ActivityModel",
+    "DRIFT_KINDS",
+    "DriftComponent",
+    "DriftModel",
     "MobilityModel",
     "generate_capture_session",
     "HostSeriesGenerator",

@@ -8,7 +8,7 @@ deterministic given the seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,6 +20,7 @@ from repro.utils.rng import RandomSource
 from repro.utils.timeutils import BinSpec, MINUTE, WEEK
 from repro.utils.validation import require, require_positive
 from repro.workload.diurnal import ActivityModel, always_on_pattern, office_worker_pattern
+from repro.workload.drift import DriftModel
 from repro.workload.events import ScheduledEvent, build_maintenance_events
 from repro.workload.generator import HostSeriesGenerator
 from repro.workload.mobility import MobilityModel
@@ -41,6 +42,13 @@ class EnterpriseConfig:
     the source of the week-to-week threshold instability the paper reports.
     Set ``with_maintenance=False`` and ``week_drift_scale=0.0`` for a fully
     stationary population (useful in ablation benchmarks).
+
+    ``drift`` layers named, composable drift shapes (seasonal ramp, role
+    churn, fleet turnover, flash-crowd weeks — see
+    :class:`~repro.workload.drift.DriftModel`) on top of the baseline
+    ``week_drift_scale`` non-stationarity.  The default (empty model) leaves
+    generation bit-identical to the pre-drift-model code.  A plain mapping
+    (e.g. from a deserialized config payload) is accepted and normalised.
     """
 
     num_hosts: int = 350
@@ -53,6 +61,7 @@ class EnterpriseConfig:
     with_maintenance: bool = True
     maintenance_weeks: Tuple[int, ...] = (0, 2, 4)
     week_drift_scale: float = 1.0
+    drift: DriftModel = field(default_factory=DriftModel)
 
     def __post_init__(self) -> None:
         require(self.num_hosts >= 1, "num_hosts must be >= 1")
@@ -60,6 +69,9 @@ class EnterpriseConfig:
         require_positive(self.bin_width, "bin_width")
         require(0.0 <= self.laptop_fraction <= 1.0, "laptop_fraction must be in [0, 1]")
         require(self.week_drift_scale >= 0.0, "week_drift_scale must be non-negative")
+        if isinstance(self.drift, Mapping):
+            object.__setattr__(self, "drift", DriftModel.from_dict(self.drift))
+        require(isinstance(self.drift, DriftModel), "drift must be a DriftModel")
 
     @property
     def duration(self) -> float:
@@ -202,6 +214,7 @@ def generate_host(
         bin_spec=BinSpec(width=config.bin_width),
         week_drift_scale=config.week_drift_scale,
         events=events,
+        drift_model=config.drift,
     )
     return profile, generator.generate(config.duration, random_source)
 

@@ -17,7 +17,7 @@ Two generators share the same :class:`~repro.workload.profiles.HostProfile`,
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -44,6 +44,9 @@ from repro.workload.sessions import (
     SessionModel,
     session_to_packets,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.drift import DriftModel
 
 
 class HostSeriesGenerator:
@@ -82,6 +85,7 @@ class HostSeriesGenerator:
         bin_spec: Optional[BinSpec] = None,
         week_drift_scale: float = 1.0,
         events: Optional[Sequence["ScheduledEvent"]] = None,
+        drift_model: Optional["DriftModel"] = None,
     ) -> None:
         require(week_drift_scale >= 0.0, "week_drift_scale must be non-negative")
         self._profile = profile
@@ -90,6 +94,7 @@ class HostSeriesGenerator:
         self._bin_spec = bin_spec if bin_spec is not None else BinSpec(width=15 * MINUTE)
         self._week_drift_scale = float(week_drift_scale)
         self._events = tuple(events) if events else ()
+        self._drift_model = drift_model
 
     @property
     def profile(self) -> HostProfile:
@@ -114,6 +119,7 @@ class HostSeriesGenerator:
         activity = self._activity.multipliers(bin_starts, rng)
         location_factor = self._location_factors(host_id, duration, bin_starts, random_source)
         week_factor = self._week_drift(bin_starts, rng)
+        week_factor = week_factor * self._model_drift(host_id, bin_starts, random_source)
         per_bin_activity = activity * location_factor * week_factor
 
         counts: Dict[Feature, np.ndarray] = {}
@@ -156,6 +162,26 @@ class HostSeriesGenerator:
         trend = self._week_drift_scale * 0.22 * heaviness ** 1.5
         log_drift = rng.normal(0.0, sigma, size=num_weeks) + trend * np.arange(num_weeks)
         weekly = 10.0 ** log_drift
+        return weekly[week_indices]
+
+    def _model_drift(
+        self, host_id: int, bin_starts: np.ndarray, random_source: RandomSource
+    ) -> np.ndarray:
+        """Per-bin multipliers from the composable named drift models.
+
+        Drawn from a dedicated per-host ``"drift"`` child stream, so enabling
+        a drift model never perturbs the benign body/burst draws — and an
+        empty model (the default) leaves generation bit-identical by touching
+        no stream at all.
+        """
+        if not self._drift_model:
+            return np.ones(bin_starts.size)
+        from repro.utils.timeutils import WEEK
+
+        week_indices = (bin_starts // WEEK).astype(int)
+        num_weeks = int(week_indices.max()) + 1 if week_indices.size else 1
+        drift_rng = random_source.child("drift", host_id).generator
+        weekly = self._drift_model.week_multipliers(self._profile, num_weeks, drift_rng)
         return weekly[week_indices]
 
     def _location_factors(

@@ -82,6 +82,41 @@ class TestTimeSeries:
         assert week1.values[0] == 672
         assert series.num_weeks() == 2
 
+    def test_out_of_range_week_raises_with_available_range(self):
+        # Regression: an out-of-range week used to return a silently empty
+        # series, which propagated into empty training distributions.
+        series = self._series(np.arange(2 * 672))
+        with pytest.raises(ValueError, match=r"valid week indices are 0\.\.1"):
+            series.week(2)
+        with pytest.raises(ValueError, match="out of range"):
+            series.week_range(2, 4)
+        with pytest.raises(ValidationError):
+            series.week(-1)
+
+    def test_partially_out_of_range_window_raises_instead_of_truncating(self):
+        # Regression: a window whose end ran past the covered span used to
+        # come back silently truncated (start in range, end beyond), so a
+        # rolling training window could quietly train on fewer weeks than
+        # requested.
+        series = self._series(np.arange(2 * 672))
+        with pytest.raises(ValueError, match=r"valid week indices are 0\.\.1"):
+            series.week_range(0, 5)
+        with pytest.raises(ValueError, match="out of range"):
+            series.week_range(1, 3)
+        # Full-coverage windows and partial trailing weeks stay addressable.
+        assert series.week_range(0, 2).num_bins == 2 * 672
+        ragged = self._series(np.arange(672 + 10))
+        assert ragged.week_range(0, 2).num_bins == 672 + 10
+
+    def test_week_range_is_contiguous_slice(self):
+        series = self._series(np.arange(3 * 672))
+        window = series.week_range(1, 3)
+        assert window.num_bins == 2 * 672
+        assert window.values[0] == 672.0
+        # A partial trailing week is still addressable.
+        ragged = self._series(np.arange(672 + 10))
+        assert ragged.week(1).num_bins == 10
+
     def test_rebin_sums_adjacent(self):
         series = TimeSeries([1, 2, 3, 4, 5, 6], BinSpec(width=5 * MINUTE))
         rebinned = series.rebin(3)

@@ -267,11 +267,109 @@ features = ["num_tcp_connections", "num_dns_connections"]
         assert "error" in capsys.readouterr().err
 
 
+TIMELINE_SWEEP = """
+[sweep]
+name = "tiny-cadence"
+description = "cli timeline test sweep"
+
+[scenario.population]
+num_hosts = 6
+num_weeks = 4
+seed = 3
+
+[scenario.attack]
+kind = "none"
+
+[scenario.evaluation.schedule]
+kind = "never"
+
+[axes]
+"evaluation.schedule.kind" = ["never", "every-k-weeks"]
+"""
+
+
+class TestTimelineCommand:
+    @pytest.fixture()
+    def timeline_store(self, tmp_path):
+        spec_path = tmp_path / "cadence.toml"
+        spec_path.write_text(TIMELINE_SWEEP)
+        store_path = tmp_path / "cadence.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    str(spec_path),
+                    "--store",
+                    str(store_path),
+                    "--no-cache",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        return store_path
+
+    def test_timeline_renders_utility_vs_week_table(self, timeline_store, capsys):
+        capsys.readouterr()
+        assert main(["timeline", str(timeline_store)]) == 0
+        out = capsys.readouterr().out
+        assert "mean_utility per deployed week" in out
+        for column in ("w1", "w2", "w3", "retrains", "decay/week"):
+            assert column in out
+        assert "never" in out and "every-1-weeks" in out
+
+    def test_timeline_scenario_filter_and_metric(self, timeline_store, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "timeline",
+                    str(timeline_store),
+                    "--scenario",
+                    "never",
+                    "--metric",
+                    "total_false_alarms",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "total_false_alarms per deployed week" in out
+        assert "every-k-weeks" not in out
+
+    def test_timeline_errors_without_timeline_records(self, tmp_path, capsys):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SWEEP)
+        store_path = tmp_path / "oneshot.jsonl"
+        assert (
+            main(
+                ["sweep", "run", str(spec_path), "--store", str(store_path), "--no-cache", "--quiet"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["timeline", str(store_path)]) == 1
+        err = capsys.readouterr().err
+        assert "no timeline records" in err
+        assert "retrain-cadence" in err
+
+    def test_timeline_missing_store(self, tmp_path, capsys):
+        assert main(["timeline", str(tmp_path / "nope.jsonl")]) == 1
+        assert "not found" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_sweep_list_shows_catalog(self, capsys):
         assert main(["sweep", "list"]) == 0
         out = capsys.readouterr().out
-        for name in ("policy-grid", "attack-intensity", "enterprise-scaling", "storm-replay"):
+        for name in (
+            "policy-grid",
+            "attack-intensity",
+            "enterprise-scaling",
+            "storm-replay",
+            "retrain-cadence",
+        ):
             assert name in out
 
     def test_experiments_seed_zero_is_respected(self):

@@ -388,6 +388,135 @@ class TestMultiFeatureScenarios:
         assert [r.outcome for r in parallel.results] == [r.outcome for r in serial.results]
 
 
+class TestTimelineScenarios:
+    def _cadence_sweep(self):
+        return SweepSpec.from_dict(
+            {
+                "sweep": {"name": "cadence-sweep", "mode": "grid"},
+                "scenario": {
+                    "name": "base",
+                    "population": {
+                        "num_hosts": 8,
+                        "num_weeks": 4,
+                        "seed": 77,
+                        "drift": {"kind": "flash-crowd", "weeks": [2]},
+                    },
+                    "attack": {"kind": "none"},
+                    "evaluation": {"schedule": {"kind": "never"}},
+                },
+                "axes": {
+                    "evaluation.schedule.kind": ["never", "every-k-weeks"],
+                },
+            }
+        )
+
+    def test_timeline_records_carry_schedule_and_staleness_fields(self, tmp_path):
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        store = ResultStore(tmp_path / "results.jsonl")
+        SweepRunner(engine=engine, workers=1).run(self._cadence_sweep(), store=store)
+        records = store.records()
+        assert len(records) == 2
+        for record in records:
+            assert record.schema == RESULT_SCHEMA_VERSION == 4
+            metrics = record.metrics
+            assert metrics["schedule"] in ("never", "every-1-weeks")
+            assert metrics["num_timeline_weeks"] == 3
+            assert set(metrics["timeline"]) == {"1", "2", "3"}
+            assert "training_cost_seconds" in metrics
+            assert record.value("timeline.2.mean_utility") == pytest.approx(
+                metrics["timeline"]["2"]["mean_utility"]
+            )
+        by_schedule = {record.metrics["schedule"]: record.metrics for record in records}
+        assert by_schedule["never"]["retrain_count"] == 0
+        assert by_schedule["every-1-weeks"]["retrain_count"] == 2
+
+    def test_never_timeline_week1_matches_one_shot_scenario(self, tmp_path):
+        """The sweep-level golden regression: a never-schedule timeline's first
+        week reproduces the one-shot scenario's metrics bit for bit."""
+        from repro.sweeps import ScenarioSpec
+
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        base = {
+            "name": "base",
+            "population": {"num_hosts": 8, "num_weeks": 4, "seed": 77},
+            "attack": {"kind": "naive", "size": 50.0},
+        }
+        population = engine.generate(
+            ScenarioSpec.from_dict(base).population.to_config()
+        )
+        oneshot = run_scenario(ScenarioSpec.from_dict(base), population)
+        timeline = run_scenario(
+            ScenarioSpec.from_dict(
+                {**base, "evaluation": {"schedule": {"kind": "never"}}}
+            ),
+            population,
+        )
+        week1 = timeline.timeline["1"]
+        for key in (
+            "mean_utility",
+            "median_utility",
+            "mean_false_positive_rate",
+            "mean_false_negative_rate",
+            "mean_detection_rate",
+            "mean_f_measure",
+            "total_false_alarms",
+            "fraction_raising_alarm",
+        ):
+            assert week1[key] == getattr(oneshot, key), key
+
+    def test_parallel_matches_serial_for_timelines(self, tmp_path):
+        sweep = self._cadence_sweep()
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        serial = SweepRunner(engine=engine, workers=1).run(sweep)
+        parallel = SweepRunner(engine=engine, workers=2).run(sweep)
+
+        def metrics(outcome):
+            payload = outcome.to_dict()
+            payload.pop("training_cost_seconds")  # wall-clock, run-dependent
+            return payload
+
+        for left, right in zip(serial.results, parallel.results):
+            assert metrics(left.outcome) == metrics(right.outcome)
+
+    def test_v3_record_without_temporal_fields_still_readable(self, tmp_path):
+        """Pre-temporal (schema 3) stores load fine: missing fields read as
+        the classic one-shot evaluation."""
+        from repro.core.experiment import ScenarioOutcome
+        from repro.sweeps import ScenarioSpec
+
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
+        store = ResultStore(tmp_path / "results.jsonl")
+        SweepRunner(engine=engine, workers=1).run(
+            _sweep({"policy.kind": ["homogeneous"]}), store=store
+        )
+        record = store.records()[0]
+        payload = record.to_dict()
+        payload["schema"] = 3
+        del payload["spec"]["evaluation"]["schedule"]
+        del payload["spec"]["population"]["drift"]
+        for key in (
+            "schedule",
+            "num_timeline_weeks",
+            "retrain_count",
+            "retrain_weeks",
+            "utility_decay_slope",
+            "timeline",
+            "training_cost_seconds",
+        ):
+            del payload["metrics"][key]
+        (tmp_path / "v3.jsonl").write_text(json.dumps(payload) + "\n", encoding="utf-8")
+
+        v3_record = ResultStore(tmp_path / "v3.jsonl").records()[0]
+        assert v3_record.schema == 3
+        spec = ScenarioSpec.from_dict(v3_record.spec)
+        assert spec.evaluation.schedule.kind == "one-shot"
+        assert spec.population.drift.kind == "none"
+        outcome = ScenarioOutcome.from_dict(v3_record.metrics)
+        assert outcome.schedule == "one-shot"
+        assert outcome.timeline == {}
+        assert outcome.retrain_count == 0
+
+
 class TestResultStore:
     def _record(self, scenario="s1", kind="homogeneous", size=10.0, utility=0.5):
         return ScenarioRecord(

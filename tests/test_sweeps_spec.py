@@ -457,6 +457,135 @@ class TestOptimizerSpecs:
         assert len(set(names)) == 2
 
 
+class TestTemporalSpecs:
+    def _scenario(self, population=None, evaluation=None, attack=None):
+        data = {
+            "name": "t",
+            "population": {"num_hosts": 4, "num_weeks": 4, **(population or {})},
+        }
+        if evaluation is not None:
+            data["evaluation"] = evaluation
+        if attack is not None:
+            data["attack"] = attack
+        return ScenarioSpec.from_dict(data)
+
+    def test_defaults_are_one_shot_and_driftless(self):
+        scenario = self._scenario()
+        assert scenario.evaluation.schedule.kind == "one-shot"
+        assert scenario.evaluation.schedule.build() is None
+        assert scenario.population.drift.kind == "none"
+        assert not scenario.population.to_config().drift
+
+    def test_schedule_builds_retrain_schedule(self):
+        from repro.temporal import RetrainSchedule
+
+        schedule = self._scenario(
+            evaluation={
+                "schedule": {"kind": "every-k-weeks", "period": 2, "window_weeks": 2}
+            }
+        ).evaluation.schedule.build()
+        assert schedule == RetrainSchedule.every_k_weeks(2, window_weeks=2)
+
+    def test_drift_spec_builds_composed_model(self):
+        config = self._scenario(
+            population={"drift": {"kind": "seasonal+flash-crowd", "scale": 2.0}}
+        ).population.to_config()
+        assert config.drift.name == "seasonal+flash-crowd"
+        assert all(component.scale == 2.0 for component in config.drift.components)
+
+    def test_bad_schedule_and_drift_rejected(self):
+        with pytest.raises(ValidationError, match="schedule.kind"):
+            self._scenario(evaluation={"schedule": {"kind": "fortnightly"}})
+        with pytest.raises(ValidationError, match="drift.kind"):
+            self._scenario(population={"drift": {"kind": "entropy"}})
+        with pytest.raises(ValidationError, match="schedule window"):
+            self._scenario(
+                population={"num_weeks": 2},
+                evaluation={"schedule": {"kind": "never", "window_weeks": 3}},
+            )
+
+    def test_mimicry_vs_schedule_validates_target_like_mimicry(self):
+        scenario = self._scenario(attack={"kind": "mimicry-vs-schedule"})
+        builder = scenario.attack.build_builder(
+            scenario.evaluation.feature_enum(), 900.0
+        )
+        assert builder.tracks_schedule is True
+        plain = self._scenario(attack={"kind": "mimicry"})
+        assert (
+            plain.attack.build_builder(
+                plain.evaluation.feature_enum(), 900.0
+            ).tracks_schedule
+            is False
+        )
+        with pytest.raises(ValidationError, match="mimicry-vs-schedule targets"):
+            self._scenario(
+                attack={"kind": "mimicry-vs-schedule", "feature": "num_dns_connections"}
+            )
+
+    def test_inert_schedule_params_normalise_to_identical_hashes(self):
+        from repro.sweeps import scenario_spec_hash
+
+        plain = self._scenario(evaluation={"schedule": {"kind": "never"}})
+        with_inert = self._scenario(
+            evaluation={"schedule": {"kind": "never", "period": 3, "threshold": 0.9}}
+        )
+        assert plain == with_inert
+        assert scenario_spec_hash(plain) == scenario_spec_hash(with_inert)
+        flipped = self._scenario(evaluation={"schedule": {"kind": "every-k-weeks"}})
+        assert scenario_spec_hash(flipped) != scenario_spec_hash(plain)
+
+    def test_inert_drift_params_normalise_to_identical_hashes(self):
+        from repro.sweeps import scenario_spec_hash
+
+        # seasonal never reads probability/weeks/magnitude, so sweeping them
+        # must not fork the spec hash (and with it the engine cache key).
+        plain = self._scenario(population={"drift": {"kind": "seasonal"}})
+        with_inert = self._scenario(
+            population={
+                "drift": {"kind": "seasonal", "probability": 0.4, "magnitude": 5.0}
+            }
+        )
+        assert plain == with_inert
+        assert scenario_spec_hash(plain) == scenario_spec_hash(with_inert)
+        # ...while live fields still distinguish scenarios.
+        retuned = self._scenario(
+            population={"drift": {"kind": "seasonal", "period_weeks": 6}}
+        )
+        assert scenario_spec_hash(retuned) != scenario_spec_hash(plain)
+        # flash-crowd keeps its weeks/magnitude, drops period_weeks.
+        crowd = self._scenario(
+            population={"drift": {"kind": "flash-crowd", "period_weeks": 9}}
+        )
+        assert crowd.population.drift.period_weeks == 4
+        assert crowd == self._scenario(population={"drift": {"kind": "flash-crowd"}})
+
+    def test_schedule_and_drift_are_sweepable_axes(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "sweep": {"name": "cadence"},
+                "scenario": {"population": {"num_hosts": 4, "num_weeks": 4}},
+                "axes": {
+                    "evaluation.schedule.kind": ["never", "every-k-weeks"],
+                    "population.drift.kind": ["seasonal", "role-churn"],
+                    "population.drift.scale": [0.5, 1.5],
+                },
+            }
+        )
+        scenarios = sweep.expand()
+        assert len(scenarios) == 8
+        assert {s.evaluation.schedule.kind for s in scenarios} == {
+            "never",
+            "every-k-weeks",
+        }
+        assert {s.population.drift.scale for s in scenarios} == {0.5, 1.5}
+        assert SweepSpec.from_toml(sweep.to_toml()) == sweep
+
+    def test_drift_changes_derived_seed_but_not_fixed_seed(self):
+        base = PopulationSpec()
+        drifted = PopulationSpec.from_dict({"drift": {"kind": "seasonal"}})
+        assert derive_scenario_seed(7, base) != derive_scenario_seed(7, drifted)
+
+
 class TestSeedDerivation:
     def test_derived_seeds_shared_by_identical_populations(self):
         sweep = SweepSpec.from_dict(
@@ -507,6 +636,7 @@ class TestBuiltinCatalog:
             "enterprise-scaling",
             "feature-fusion",
             "policy-grid",
+            "retrain-cadence",
             "storm-replay",
         ]
 
