@@ -1,0 +1,35 @@
+"""Micro-benchmarks of the load generator: the demo tier end to end.
+
+Tracks how fast the orchestrator pushes the demo profile's full phase ladder
+(steady-ramp, burst, failure-injection) through planning, population setup
+and evaluation.  Loadgen's own per-phase latency percentiles also enter the
+BENCH trajectory directly via ``repro loadgen run --bench-json``; this
+benchmark keeps the end-to-end number in the harness output too.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_CACHE_DIR, run_once
+from repro.engine import PopulationEngine
+from repro.loadgen import load_profile, plan_events, run_profile
+
+
+def test_bench_loadgen_demo_tier(benchmark):
+    """The full demo tier (11 events, 16 hosts) on a warm population cache."""
+    profile = load_profile("demo")
+    engine = PopulationEngine(cache_dir=BENCH_CACHE_DIR)
+    engine.generate(plan_events(profile)[0].scenario.population.to_config())
+
+    report = run_once(benchmark, run_profile, profile, engine=engine)
+
+    assert report.total_events == profile.total_events
+    assert len(report.phases) == len(profile.phases)
+    benchmark.extra_info["scenarios_per_second"] = round(report.scenarios_per_second, 3)
+    benchmark.extra_info["host_weeks_per_second"] = round(report.host_weeks_per_second, 1)
+
+
+def test_bench_loadgen_planning(benchmark):
+    """Pure planning speed: the stress tier's 37-event stream (no evaluation)."""
+    profile = load_profile("stress")
+    events = benchmark(plan_events, profile)
+    assert len(events) == profile.total_events

@@ -1,0 +1,200 @@
+"""CI perf-trajectory gate: diff fresh BENCH JSON against the seed baseline.
+
+Reads one or more fresh pytest-benchmark JSON payloads (the benchmark
+harness output plus the loadgen demo tier) and a baseline payload
+(``BENCH_20260727_seed.json``), prints a median-runtime comparison for every
+shared benchmark, and fails (exit 1) when any *hot path* regressed by more
+than the slowdown threshold (default 2x median).
+
+Hot paths missing from the baseline are reported as "no baseline yet" and do
+not fail the gate — that is how new benchmarks (sweep throughput, loadgen
+phases) enter the trajectory.  Hot paths missing from the *fresh* payloads
+fail: the benchmark silently disappearing is exactly what the gate exists to
+catch.
+
+Machine-info caveats are printed whenever the baseline and fresh payloads
+were produced on visibly different machines — cross-machine ratios are
+indicative, not proof.
+
+Usage::
+
+    python scripts/bench_compare.py FRESH.json [FRESH2.json ...] \
+        --baseline BENCH_20260727_seed.json [--threshold 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Benchmarks the gate fails on (>threshold median slowdown).
+DEFAULT_HOT_PATHS: Tuple[str, ...] = (
+    "test_bench_fig2_feature_scatter",
+    "test_bench_fig3_utility_comparison",
+    "test_bench_fig4_attacker_effectiveness",
+    "test_bench_sweep_runner_throughput",
+)
+
+#: Default failure threshold: fresh median > 2x baseline median.
+DEFAULT_THRESHOLD = 2.0
+
+
+def load_payload(path: Path) -> Dict[str, Any]:
+    """One parsed pytest-benchmark JSON payload."""
+    with path.open(encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "benchmarks" not in payload:
+        raise ValueError(f"{path} is not a pytest-benchmark JSON payload")
+    return payload
+
+
+def medians(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Benchmark name -> median seconds."""
+    return {bench["name"]: float(bench["stats"]["median"]) for bench in payload["benchmarks"]}
+
+
+def merge_medians(payloads: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    """Union of all payloads' medians (first occurrence of a name wins)."""
+    merged: Dict[str, float] = {}
+    for payload in payloads:
+        for name, median in medians(payload).items():
+            merged.setdefault(name, median)
+    return merged
+
+
+def machine_summary(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The machine fields worth comparing across payloads."""
+    info = payload.get("machine_info") or {}
+    cpu = info.get("cpu") or {}
+    return {
+        "node": info.get("node", "?"),
+        "cpu": cpu.get("brand_raw", "?"),
+        "cpu_count": cpu.get("count", "?"),
+        "python": info.get("python_version", "?"),
+    }
+
+
+def machine_caveats(baseline: Dict[str, Any], fresh: Sequence[Dict[str, Any]]) -> List[str]:
+    """Human-readable warnings for cross-machine comparisons."""
+    base = machine_summary(baseline)
+    caveats: List[str] = []
+    for payload in fresh:
+        current = machine_summary(payload)
+        diffs = [
+            f"{key}: {base[key]!r} -> {current[key]!r}"
+            for key in ("cpu", "cpu_count", "python")
+            if base[key] != current[key]
+        ]
+        if diffs:
+            caveats.append(
+                "baseline and fresh payloads ran on different machines "
+                f"({'; '.join(diffs)}) — ratios are indicative, not proof"
+            )
+    return caveats
+
+
+def compare(
+    fresh: Dict[str, float],
+    baseline: Dict[str, float],
+    hot_paths: Sequence[str],
+    threshold: float,
+) -> Tuple[List[Tuple[str, str, Optional[float]]], List[str]]:
+    """Evaluate the gate.
+
+    Returns ``(rows, failures)`` where each row is
+    ``(benchmark name, status line, ratio-or-None)`` covering every hot path
+    and every benchmark shared by both sides, and ``failures`` lists the
+    reasons the gate should fail.
+    """
+    rows: List[Tuple[str, str, Optional[float]]] = []
+    failures: List[str] = []
+    for name in hot_paths:
+        if name not in fresh:
+            if name in baseline:
+                # Present in the trajectory but gone from the fresh run: the
+                # benchmark silently disappearing is itself a regression.
+                failures.append(f"hot path {name!r} missing from the fresh payload(s)")
+                rows.append((name, "MISSING from fresh run", None))
+            else:
+                rows.append((name, "absent from both sides — skipped", None))
+            continue
+        if name not in baseline:
+            rows.append((name, f"no baseline yet ({fresh[name]:.4f}s fresh) — skipped", None))
+            continue
+        ratio = fresh[name] / baseline[name]
+        status = f"{baseline[name]:.4f}s -> {fresh[name]:.4f}s ({ratio:.2f}x)"
+        if ratio > threshold:
+            failures.append(
+                f"hot path {name!r} regressed {ratio:.2f}x (threshold {threshold:.1f}x)"
+            )
+            status += "  ** REGRESSION **"
+        rows.append((name, status, ratio))
+    shared = sorted(set(fresh) & set(baseline) - set(hot_paths))
+    for name in shared:
+        ratio = fresh[name] / baseline[name]
+        rows.append((name, f"{baseline[name]:.4f}s -> {fresh[name]:.4f}s ({ratio:.2f}x)", ratio))
+    return rows, failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", nargs="+", help="fresh BENCH_*.json payload(s) to gate")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_20260727_seed.json",
+        help="baseline trajectory payload (default: the seed)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fail when a hot path's fresh median exceeds baseline x this factor (default: 2.0)",
+    )
+    parser.add_argument(
+        "--hot-path",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="benchmark name the gate fails on (repeatable; default: "
+        + ", ".join(DEFAULT_HOT_PATHS)
+        + ")",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline_payload = load_payload(Path(args.baseline))
+        fresh_payloads = [load_payload(Path(path)) for path in args.fresh]
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"bench_compare: error: {error}", file=sys.stderr)
+        return 2
+
+    hot_paths = tuple(args.hot_path) if args.hot_path else DEFAULT_HOT_PATHS
+    fresh_medians = merge_medians(fresh_payloads)
+    baseline_medians = medians(baseline_payload)
+    rows, failures = compare(fresh_medians, baseline_medians, hot_paths, args.threshold)
+
+    print(
+        f"perf-trajectory gate: {len(fresh_medians)} fresh vs "
+        f"{len(baseline_medians)} baseline benchmark(s), "
+        f"threshold {args.threshold:.1f}x on {len(hot_paths)} hot path(s)"
+    )
+    for caveat in machine_caveats(baseline_payload, fresh_payloads):
+        print(f"caveat: {caveat}")
+    width = max(len(name) for name, _, _ in rows)
+    for name, status, _ in rows:
+        marker = "*" if name in hot_paths else " "
+        print(f" {marker} {name:<{width}}  {status}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("gate passed: no hot path regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

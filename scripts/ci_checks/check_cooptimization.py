@@ -1,0 +1,101 @@
+"""CI smoke check: co-optimization records carry optimizer provenance.
+
+Validates the ``co-optimization`` sweep's result store (the former inline CI
+heredoc): the expected record count, optimizer provenance on every record
+(name, objective value, iteration count, spec agreement), and that
+coordinate ascent beats independent selection on the fused utility for at
+least one (policy, fusion-rule) cell.
+
+Usage::
+
+    python scripts/ci_checks/check_cooptimization.py coopt-smoke.jsonl [--expect 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Optimizer kinds the smoke sweep exercises.
+EXPECTED_OPTIMIZERS = ("independent", "coordinate-ascent")
+
+
+def load_records(path: Path) -> List[Dict[str, Any]]:
+    """Parsed JSONL records of a sweep result store."""
+    with path.open(encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def utility_gaps(records: List[Dict[str, Any]]) -> Dict[Tuple[str, str], float]:
+    """Per (policy kind, fusion rule) cell: coordinate-ascent minus independent."""
+    by_scenario: Dict[Tuple[str, str], Dict[str, Dict[str, Any]]] = {}
+    for record in records:
+        spec = record["spec"]
+        key = (spec["policy"]["kind"], spec["evaluation"]["fusion"]["rule"])
+        by_scenario.setdefault(key, {})[record["metrics"]["optimizer"]] = record["metrics"]
+    return {
+        key: cells["coordinate-ascent"]["mean_utility"] - cells["independent"]["mean_utility"]
+        for key, cells in by_scenario.items()
+        if "coordinate-ascent" in cells and "independent" in cells
+    }
+
+
+def check(records: List[Dict[str, Any]], expect: int) -> List[str]:
+    """Every violated expectation, as human-readable messages."""
+    errors: List[str] = []
+    if len(records) != expect:
+        errors.append(f"expected {expect} co-optimization records, got {len(records)}")
+    for record in records:
+        metrics = record["metrics"]
+        scenario = record.get("scenario", "?")
+        if metrics["optimizer"] not in EXPECTED_OPTIMIZERS:
+            errors.append(f"{scenario}: unexpected optimizer {metrics['optimizer']!r}")
+        if metrics["objective_value"] is None:
+            errors.append(f"{scenario}: objective_value missing")
+        if "optimizer_iterations" not in metrics:
+            errors.append(f"{scenario}: optimizer_iterations missing")
+        spec_kind = record["spec"]["evaluation"]["optimizer"]["kind"]
+        if spec_kind != metrics["optimizer"]:
+            errors.append(
+                f"{scenario}: spec optimizer {spec_kind!r} disagrees with "
+                f"stored {metrics['optimizer']!r}"
+            )
+    gaps = utility_gaps(records)
+    if not gaps:
+        errors.append("no (policy, fusion) cell holds both optimizers")
+    elif not any(gap > 0.0 for gap in gaps.values()):
+        errors.append(f"no fused-utility gap anywhere: {gaps}")
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("store", help="JSONL result store of the co-optimization sweep")
+    parser.add_argument(
+        "--expect", type=int, default=12, help="expected record count (default: 12)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        records = load_records(Path(args.store))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_cooptimization: error: {error}", file=sys.stderr)
+        return 2
+    errors = check(records, args.expect)
+    if errors:
+        for error in errors:
+            print(f"check_cooptimization: FAIL: {error}", file=sys.stderr)
+        return 1
+    gaps = utility_gaps(records)
+    winning = sum(1 for gap in gaps.values() if gap > 0.0)
+    print(
+        "OK: optimizer/objective fields present; coordinate ascent beats "
+        f"independent selection on {winning}/{len(gaps)} scenarios"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""CI smoke check: fusion sweep records carry fused + per-feature metrics.
+
+Validates the ``feature-fusion`` sweep's result store (the former inline CI
+heredoc): the expected record count, a known fusion rule on every record,
+and per-feature metric tables alongside the fused headline metrics.
+
+Usage::
+
+    python scripts/ci_checks/check_fusion.py fusion-smoke.jsonl [--expect 27]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Fusion rule names a stored record may carry.
+KNOWN_FUSION_RULES = ("any", "all", "2-of-n")
+
+
+def load_records(path: Path) -> List[Dict[str, Any]]:
+    """Parsed JSONL records of a sweep result store."""
+    with path.open(encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def check(records: List[Dict[str, Any]], expect: int) -> List[str]:
+    """Every violated expectation, as human-readable messages."""
+    errors: List[str] = []
+    if len(records) != expect:
+        errors.append(f"expected {expect} fusion records, got {len(records)}")
+    for record in records:
+        metrics = record["metrics"]
+        scenario = record.get("scenario", "?")
+        if metrics["fusion"] not in KNOWN_FUSION_RULES:
+            errors.append(f"{scenario}: unknown fusion rule {metrics['fusion']!r}")
+        if metrics["num_features"] < 1:
+            errors.append(f"{scenario}: num_features must be >= 1")
+        if not metrics["per_feature"]:
+            errors.append(f"{scenario}: per-feature metrics missing")
+        for name, per_feature in metrics["per_feature"].items():
+            for key in ("mean_false_positive_rate", "mean_detection_rate"):
+                if key not in per_feature:
+                    errors.append(f"{scenario}: per_feature[{name}] lacks {key}")
+        if "mean_utility" not in metrics:
+            errors.append(f"{scenario}: fused headline metric mean_utility missing")
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("store", help="JSONL result store of the fusion sweep")
+    parser.add_argument(
+        "--expect", type=int, default=27, help="expected record count (default: 27)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        records = load_records(Path(args.store))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_fusion: error: {error}", file=sys.stderr)
+        return 2
+    errors = check(records, args.expect)
+    if errors:
+        for error in errors:
+            print(f"check_fusion: FAIL: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(records)} records carry fused + per-feature metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""CI smoke check: the sweep-level result cache skips already-stored scenarios.
+
+Validates the captured stdout of a *second* ``repro sweep run`` against the
+same store (the former inline ``grep`` step): the runner must report that it
+skipped the expected number of scenarios because their spec hashes were
+already present.
+
+Usage::
+
+    repro sweep run feature-fusion ... --store fusion-smoke.jsonl | tee rerun-out.txt
+    python scripts/ci_checks/check_result_cache.py rerun-out.txt --expect-skipped 27
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+
+def skip_message(expect_skipped: int) -> str:
+    """The runner output line a fully cached re-run must contain."""
+    return f"skipped {expect_skipped} scenario(s) already in"
+
+
+def check(output: str, expect_skipped: int) -> Optional[str]:
+    """None when the output proves the cache hit; the error message otherwise."""
+    needle = skip_message(expect_skipped)
+    if needle in output:
+        return None
+    return f"runner output does not contain {needle!r} — the result cache did not skip the re-run"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", help="captured stdout of the second sweep run")
+    parser.add_argument(
+        "--expect-skipped",
+        type=int,
+        default=27,
+        help="scenario count the cached re-run must skip (default: 27)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        output = Path(args.output).read_text(encoding="utf-8")
+    except OSError as error:
+        print(f"check_result_cache: error: {error}", file=sys.stderr)
+        return 2
+    error = check(output, args.expect_skipped)
+    if error is not None:
+        print(f"check_result_cache: FAIL: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: result cache skipped all {args.expect_skipped} stored scenario(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

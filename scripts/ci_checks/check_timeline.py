@@ -1,0 +1,135 @@
+"""CI smoke check: retrain-cadence records carry schedule/staleness fields.
+
+Validates the ``retrain-cadence`` sweep's result store (the former inline CI
+heredoc): the expected record count, result-store schema v4, the per-week
+timeline table with staleness provenance on every record, and that both
+retraining schedules strictly beat ``never`` on every drifting
+(policy, drift-kind) cell.
+
+Usage::
+
+    python scripts/ci_checks/check_timeline.py cadence-smoke.jsonl [--expect 18]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Stored schedule display names the cadence sweep produces.
+EXPECTED_SCHEDULES = ("never", "every-1-weeks", "drift-triggered@0.05")
+
+#: Spec-side schedule kinds the cadence sweep spans.
+EXPECTED_SCHEDULE_KINDS = ("never", "every-k-weeks", "drift-triggered")
+
+#: Spec-side drift compositions the cadence sweep spans.
+EXPECTED_DRIFT_KINDS = ("seasonal", "role-churn+flash-crowd")
+
+#: Result-store schema version timeline records are stored under.
+EXPECTED_SCHEMA = 4
+
+#: Deployed weeks every cadence scenario covers (weeks 1-4 of a 5-week pop).
+EXPECTED_WEEKS = {"1", "2", "3", "4"}
+
+
+def load_records(path: Path) -> List[Dict[str, Any]]:
+    """Parsed JSONL records of a sweep result store."""
+    with path.open(encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def check(records: List[Dict[str, Any]], expect: int) -> List[str]:
+    """Every violated expectation, as human-readable messages."""
+    errors: List[str] = []
+    if len(records) != expect:
+        errors.append(f"expected {expect} cadence records, got {len(records)}")
+    for record in records:
+        metrics = record["metrics"]
+        scenario = record.get("scenario", "?")
+        if record["schema"] != EXPECTED_SCHEMA:
+            errors.append(f"{scenario}: schema {record['schema']} != {EXPECTED_SCHEMA}")
+        if metrics["schedule"] not in EXPECTED_SCHEDULES:
+            errors.append(f"{scenario}: unexpected schedule {metrics['schedule']!r}")
+        if metrics["num_timeline_weeks"] != len(EXPECTED_WEEKS):
+            errors.append(
+                f"{scenario}: num_timeline_weeks {metrics['num_timeline_weeks']} "
+                f"!= {len(EXPECTED_WEEKS)}"
+            )
+        if set(metrics["timeline"]) != EXPECTED_WEEKS:
+            errors.append(f"{scenario}: per-week table missing weeks")
+        for week in metrics["timeline"].values():
+            if "mean_utility" not in week or "weeks_since_retrain" not in week:
+                errors.append(f"{scenario}: per-week staleness fields missing")
+                break
+        for key in (
+            "retrain_count",
+            "retrain_weeks",
+            "utility_decay_slope",
+            "training_cost_seconds",
+        ):
+            if key not in metrics:
+                errors.append(f"{scenario}: {key} missing")
+        if record["spec"]["evaluation"]["schedule"]["kind"] not in EXPECTED_SCHEDULE_KINDS:
+            errors.append(f"{scenario}: unexpected spec schedule kind")
+        if record["spec"]["population"]["drift"]["kind"] not in EXPECTED_DRIFT_KINDS:
+            errors.append(f"{scenario}: unexpected spec drift kind")
+    errors.extend(_retraining_beats_never(records))
+    return errors
+
+
+def _retraining_beats_never(records: List[Dict[str, Any]]) -> List[str]:
+    """Both retraining schedules must strictly beat 'never' on every cell."""
+    errors: List[str] = []
+    by_cell: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for record in records:
+        spec = record["spec"]
+        key = (spec["policy"]["kind"], spec["population"]["drift"]["kind"])
+        schedule = spec["evaluation"]["schedule"]["kind"]
+        by_cell.setdefault(key, {})[schedule] = record["metrics"]["mean_utility"]
+    for key, cells in by_cell.items():
+        if "never" not in cells:
+            errors.append(f"cell {key}: no 'never' baseline record")
+            continue
+        for kind in ("every-k-weeks", "drift-triggered"):
+            if kind not in cells:
+                errors.append(f"cell {key}: no {kind!r} record")
+                continue
+            gap = cells[kind] - cells["never"]
+            if gap <= 0.0:
+                errors.append(f"{kind} does not beat never on {key}: {gap:+.5f}")
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("store", help="JSONL result store of the retrain-cadence sweep")
+    parser.add_argument(
+        "--expect", type=int, default=18, help="expected record count (default: 18)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        records = load_records(Path(args.store))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_timeline: error: {error}", file=sys.stderr)
+        return 2
+    errors = check(records, args.expect)
+    if errors:
+        for error in errors:
+            print(f"check_timeline: FAIL: {error}", file=sys.stderr)
+        return 1
+    cells = {
+        (r["spec"]["policy"]["kind"], r["spec"]["population"]["drift"]["kind"])
+        for r in records
+    }
+    print(
+        f"OK: {len(records)} records carry schedule/staleness fields; "
+        f"retraining strictly beats 'never' on all {len(cells)} drifting cells"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

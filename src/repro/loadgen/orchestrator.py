@@ -1,0 +1,237 @@
+"""The load orchestrator: execute a planned event stream, record metrics.
+
+:class:`LoadOrchestrator` drives the existing evaluation machinery with the
+deterministic event stream :func:`~repro.loadgen.phases.plan_events`
+produces:
+
+* ``burst`` phases go through the :class:`~repro.sweeps.runner.SweepRunner`
+  (the campaign path), with the runner's per-scenario ``timing`` hook
+  feeding the phase's latency samples;
+* ``steady-ramp``/``flash-crowd``/``failure-injection`` phases evaluate each
+  event directly via :func:`~repro.core.evaluation.evaluate_policy` on the
+  event's skew-selected host subset — with dropped hosts removed and
+  corrupted hosts' matrices bin-masked first;
+* ``soak`` phases run one :func:`~repro.temporal.evaluate_timeline` pass,
+  recording one latency sample per deployed week through the timeline's
+  ``week_hook``.
+
+All wall-clock measurement goes through an injectable ``clock`` so tests can
+substitute a fake and assert the metrics JSON reproduces bit for bit; with
+the default :func:`time.perf_counter` the numbers are real.  Populations are
+generated once per distinct configuration through the
+:class:`~repro.engine.PopulationEngine` (give the engine a cache directory
+— as CI does — and the burst phase's runner reloads them instead of
+regenerating).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_policy
+from repro.engine import PopulationEngine, population_cache_key
+from repro.features.timeseries import FeatureMatrix
+from repro.loadgen.metrics import LoadReport, MetricsRecorder, PhaseMetrics
+from repro.loadgen.phases import LoadEvent, corrupt_matrix, plan_events
+from repro.loadgen.profiles import LoadProfile
+from repro.sweeps.runner import ScenarioResult, SweepRunner, scenario_components
+from repro.sweeps.spec import SweepSpec
+from repro.utils.validation import require
+from repro.workload.enterprise import EnterprisePopulation
+
+#: Clock signature: a monotonically non-decreasing seconds counter.
+Clock = Callable[[], float]
+
+
+class LoadOrchestrator:
+    """Executes load profiles against the batch engine and sweep runner.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`PopulationEngine` generating (and caching) populations;
+        defaults to the environment-configured engine.
+    workers:
+        Evaluation worker count for the burst phase's
+        :class:`~repro.sweeps.runner.SweepRunner`.
+    clock:
+        Seconds counter used for *every* latency and duration sample.
+        Injectable so the determinism tests can run under a fake clock;
+        defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[PopulationEngine] = None,
+        workers: int = 1,
+        clock: Clock = time.perf_counter,
+    ) -> None:
+        require(workers >= 1, "workers must be >= 1")
+        self._engine = engine if engine is not None else PopulationEngine.from_env()
+        self._workers = workers
+        self._clock = clock
+        self._populations: Dict[str, EnterprisePopulation] = {}
+
+    @property
+    def engine(self) -> PopulationEngine:
+        """The population engine in use."""
+        return self._engine
+
+    # ------------------------------------------------------------------- run
+    def run(self, profile: LoadProfile, timestamp: str = "") -> LoadReport:
+        """Execute ``profile`` and return the full :class:`LoadReport`.
+
+        ``timestamp`` stamps the report (injectable for reproducible JSON);
+        empty uses the current UTC time.
+        """
+        started = self._clock()
+        events = plan_events(profile)
+        # Generate every distinct population up front: latency samples then
+        # measure evaluation, not generation (setup still counts toward the
+        # run's total duration).
+        for event in events:
+            self._population(event)
+        phases: List[PhaseMetrics] = []
+        for phase_spec in profile.phases:
+            phase_events = [event for event in events if event.phase == phase_spec.name]
+            recorder = MetricsRecorder(phase_spec.name, phase_spec.kind)
+            phase_started = self._clock()
+            if phase_spec.kind == "burst":
+                self._run_burst(profile, phase_events, recorder)
+            elif phase_spec.kind == "soak":
+                self._run_soak(profile, phase_events[0], recorder)
+            else:
+                for event in phase_events:
+                    self._run_direct(profile, event, recorder)
+            phases.append(recorder.finish(self._clock() - phase_started))
+        return LoadReport(
+            profile=profile,
+            phases=tuple(phases),
+            duration_seconds=self._clock() - started,
+            timestamp=timestamp or _utc_now(),
+        )
+
+    # ------------------------------------------------------------ burst phase
+    def _run_burst(
+        self,
+        profile: LoadProfile,
+        events: List[LoadEvent],
+        recorder: MetricsRecorder,
+    ) -> None:
+        """Fire the phase's scenarios back-to-back through the sweep runner."""
+        runner = SweepRunner(engine=self._engine, workers=self._workers)
+        sweep = SweepSpec(name=f"loadgen-{profile.name}")
+        host_weeks = profile.num_hosts * profile.num_weeks
+        last = self._clock()
+
+        def timing(result: ScenarioResult) -> None:
+            nonlocal last
+            now = self._clock()
+            recorder.record(now - last, host_weeks=host_weeks)
+            last = now
+
+        runner.run(sweep, scenarios=[event.scenario for event in events], timing=timing)
+
+    # ----------------------------------------------------------- direct phases
+    def _run_direct(
+        self, profile: LoadProfile, event: LoadEvent, recorder: MetricsRecorder
+    ) -> None:
+        """Evaluate one event on its host subset (with failures injected)."""
+        started = self._clock()
+        matrices = self._event_matrices(profile, event)
+        components = scenario_components(
+            event.scenario, self._population(event).config.bin_width
+        )
+        evaluate_policy(
+            matrices,
+            components.policy,
+            components.protocol,
+            attack_builder=components.attack_builder,
+        )
+        recorder.record(
+            self._clock() - started,
+            host_weeks=len(matrices) * profile.num_weeks,
+        )
+
+    def _event_matrices(
+        self, profile: LoadProfile, event: LoadEvent
+    ) -> Dict[int, FeatureMatrix]:
+        """The event's evaluated matrices: targets minus drops, faults applied."""
+        population = self._population(event)
+        dropped = set(event.dropped_hosts)
+        matrices = {
+            host_id: population.matrix(host_id)
+            for host_id in event.target_hosts
+            if host_id not in dropped
+        }
+        if event.corrupted_hosts:
+            rng = np.random.default_rng((profile.seed, 7, event.index))
+            for host_id in event.corrupted_hosts:
+                matrices[host_id] = corrupt_matrix(
+                    matrices[host_id], event.corrupt_bins_fraction, rng
+                )
+        return matrices
+
+    # ------------------------------------------------------------- soak phase
+    def _run_soak(
+        self, profile: LoadProfile, event: LoadEvent, recorder: MetricsRecorder
+    ) -> None:
+        """One timeline run; a latency sample per deployed week."""
+        from repro.temporal import evaluate_timeline
+
+        population = self._population(event)
+        dropped = set(event.dropped_hosts)
+        matrices = {
+            host_id: population.matrix(host_id)
+            for host_id in event.target_hosts
+            if host_id not in dropped
+        }
+        components = scenario_components(event.scenario, population.config.bin_width)
+        require(components.schedule is not None, "soak events must carry a schedule")
+        last = self._clock()
+
+        def week_hook(entry) -> None:
+            nonlocal last
+            now = self._clock()
+            recorder.record(now - last, host_weeks=len(matrices), events=0)
+            last = now
+
+        evaluate_timeline(
+            matrices,
+            components.policy,
+            components.protocol,
+            components.schedule,
+            attack_builder=components.attack_builder,
+            week_hook=week_hook,
+        )
+        recorder.count_events(1)
+
+    # -------------------------------------------------------------- populations
+    def _population(self, event: LoadEvent) -> EnterprisePopulation:
+        """The event's population, generated once per distinct configuration."""
+        config = event.scenario.population.to_config()
+        key = population_cache_key(config)
+        if key not in self._populations:
+            self._populations[key] = self._engine.generate(config)
+        return self._populations[key]
+
+
+def _utc_now() -> str:
+    from datetime import datetime, timezone
+
+    return datetime.now(timezone.utc).isoformat()
+
+
+def run_profile(
+    profile: LoadProfile,
+    engine: Optional[PopulationEngine] = None,
+    workers: int = 1,
+    clock: Clock = time.perf_counter,
+    timestamp: str = "",
+) -> LoadReport:
+    """Convenience wrapper: orchestrate one profile end to end."""
+    orchestrator = LoadOrchestrator(engine=engine, workers=workers, clock=clock)
+    return orchestrator.run(profile, timestamp=timestamp)

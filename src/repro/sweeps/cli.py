@@ -10,6 +10,7 @@ and also reachable as ``python -m repro``::
     repro sweep report sweep-policy-grid.jsonl
     repro sweep report store.jsonl --pivot spec.policy.kind spec.attack.size
     repro timeline sweep-retrain-cadence.jsonl  # utility-vs-week tables
+    repro loadgen run demo                    # tiered load generation
     repro experiments --paper-scale           # Figures 1-6, Tables 2-3
 """
 
@@ -358,6 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="only show scenarios whose name contains this substring",
     )
     timeline.set_defaults(handler=_cmd_timeline)
+
+    from repro.loadgen.cli import add_loadgen_parser
+
+    add_loadgen_parser(subcommands, _add_engine_flags)
 
     experiments = subcommands.add_parser(
         "experiments",

@@ -55,14 +55,29 @@ def planned_attack_feature(spec: ScenarioSpec, protocol: DetectionProtocol):
     return target if target in protocol.features else None
 
 
-def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> ScenarioOutcome:
-    """Evaluate one scenario spec against an already generated population.
+@dataclass(frozen=True)
+class ScenarioComponents:
+    """The built evaluation machinery one scenario spec describes.
 
-    Scenarios with a one-shot schedule run the classic single train/test
-    evaluation; timeline schedules (``evaluation.schedule.kind`` of
-    ``never``/``every-k-weeks``/``drift-triggered``) run
-    :func:`~repro.temporal.evaluate_timeline` over every remaining
-    population week and store the aggregated staleness outcome.
+    Produced by :func:`scenario_components` so callers that drive
+    :func:`~repro.core.evaluation.evaluate_policy` or
+    :func:`~repro.temporal.evaluate_timeline` directly (the load-generation
+    orchestrator, custom harnesses) share the exact spec-to-objects wiring
+    :func:`run_scenario` uses, instead of re-deriving it.
+    """
+
+    protocol: DetectionProtocol
+    attack_builder: Optional[Callable[..., Any]]
+    policy: Any
+    schedule: Any
+
+
+def scenario_components(spec: ScenarioSpec, bin_width: float) -> ScenarioComponents:
+    """Build the protocol, attack builder, policy and schedule of ``spec``.
+
+    ``bin_width`` is the population's bin width (storm traces are replayed
+    at the population's binning).  ``schedule`` is ``None`` for one-shot
+    evaluations, a :class:`~repro.temporal.RetrainSchedule` otherwise.
     """
     spec.validate()
     protocol = DetectionProtocol(
@@ -72,16 +87,34 @@ def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> Scenar
         test_week=spec.evaluation.test_week,
         utility_weight=spec.evaluation.utility_weight,
     )
-    attack_builder = spec.attack.build_builder(
-        protocol.primary_feature, population.config.bin_width
-    )
+    attack_builder = spec.attack.build_builder(protocol.primary_feature, bin_width)
     optimizer = spec.evaluation.optimizer.build(
         weight=spec.evaluation.utility_weight,
         attack_sizes=spec.policy.attack_sizes,
         attack_feature=planned_attack_feature(spec, protocol),
     )
-    policy = spec.policy.build(optimizer=optimizer)
-    schedule = spec.evaluation.schedule.build()
+    return ScenarioComponents(
+        protocol=protocol,
+        attack_builder=attack_builder,
+        policy=spec.policy.build(optimizer=optimizer),
+        schedule=spec.evaluation.schedule.build(),
+    )
+
+
+def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> ScenarioOutcome:
+    """Evaluate one scenario spec against an already generated population.
+
+    Scenarios with a one-shot schedule run the classic single train/test
+    evaluation; timeline schedules (``evaluation.schedule.kind`` of
+    ``never``/``every-k-weeks``/``drift-triggered``) run
+    :func:`~repro.temporal.evaluate_timeline` over every remaining
+    population week and store the aggregated staleness outcome.
+    """
+    components = scenario_components(spec, population.config.bin_width)
+    protocol = components.protocol
+    attack_builder = components.attack_builder
+    policy = components.policy
+    schedule = components.schedule
     if schedule is not None:
         from repro.temporal import evaluate_timeline, timeline_outcome
 
@@ -219,6 +252,7 @@ class SweepRunner:
         run_id: str = "",
         scenarios: Optional[List[ScenarioSpec]] = None,
         skip_existing: bool = True,
+        timing: Optional[Callable[["ScenarioResult"], None]] = None,
     ) -> SweepRunResult:
         """Execute every scenario of ``sweep``; returns results in sweep order.
 
@@ -234,6 +268,12 @@ class SweepRunner:
         reported in :attr:`SweepRunResult.skipped_scenarios`; pass
         ``skip_existing=False`` (the CLI's ``--rerun``) to force
         re-evaluation.
+
+        ``timing`` is a per-scenario instrumentation hook: it receives every
+        :class:`ScenarioResult` the moment it finishes (after the store
+        append, before ``progress``), letting callers such as the
+        load-generation orchestrator collect per-scenario latency samples
+        without re-deriving them from stored records.
         """
         started = time.perf_counter()
         scenarios = list(scenarios) if scenarios is not None else sweep.expand()
@@ -245,6 +285,8 @@ class SweepRunner:
         def on_finished(completed: int, total: int, result: ScenarioResult) -> None:
             if store is not None:
                 store.append(result.to_record(sweep.name, run_id=run_id))
+            if timing is not None:
+                timing(result)
             if progress is not None:
                 progress(completed, total, result)
 

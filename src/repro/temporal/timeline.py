@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -175,6 +175,7 @@ def evaluate_timeline(
     schedule: RetrainSchedule,
     attack_builder: Optional[Union[AttackBuilder, DetectionAttackBuilder]] = None,
     end_week: Optional[int] = None,
+    week_hook: Optional[Callable[[TimelineWeek], None]] = None,
 ) -> TimelineResult:
     """Evaluate ``policy`` over every deployed week of the population.
 
@@ -199,6 +200,11 @@ def evaluate_timeline(
         schedule-aware mimic); plain builders receive the initial
         deployment's thresholds — an attacker that profiled the victim once
         keeps evading a configuration the defender may since have replaced.
+    week_hook:
+        Per-week instrumentation: called with each :class:`TimelineWeek` the
+        moment it is scored, letting long soak runs (see
+        :mod:`repro.loadgen`) record per-week latencies without waiting for
+        the full :class:`TimelineResult`.
     """
     matrices = (
         population.matrices()
@@ -285,16 +291,17 @@ def evaluate_timeline(
             assignment=assignment,
             performances=performances,
         )
-        weeks.append(
-            TimelineWeek(
-                week=week,
-                trained_weeks=window,
-                deployed_week=deployed_week,
-                retrained=bool(retrain_weeks and retrain_weeks[-1] == week),
-                drift_statistic=drift_value,
-                evaluation=evaluation,
-            )
+        entry = TimelineWeek(
+            week=week,
+            trained_weeks=window,
+            deployed_week=deployed_week,
+            retrained=bool(retrain_weeks and retrain_weeks[-1] == week),
+            drift_statistic=drift_value,
+            evaluation=evaluation,
         )
+        weeks.append(entry)
+        if week_hook is not None:
+            week_hook(entry)
 
     return TimelineResult(
         policy_name=policy.name,

@@ -1,0 +1,299 @@
+"""Tests for the extracted CI gate scripts (``scripts/``).
+
+The scripts live outside the package so CI can call them directly; the tests
+load them by file path and exercise both the pass and the fail paths — in
+particular the perf-trajectory gate must fail on a synthetic 2x slowdown and
+pass when the seed trajectory is compared against itself.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPTS = REPO / "scripts"
+SEED_BENCH = REPO / "BENCH_20260727_seed.json"
+
+
+def load_script(relative: str):
+    path = SCRIPTS / relative
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_compare = load_script("bench_compare.py")
+check_fusion = load_script("ci_checks/check_fusion.py")
+check_cooptimization = load_script("ci_checks/check_cooptimization.py")
+check_timeline = load_script("ci_checks/check_timeline.py")
+check_result_cache = load_script("ci_checks/check_result_cache.py")
+
+
+def bench_payload(medians, machine_info=None):
+    """A minimal pytest-benchmark payload with the given name -> median map."""
+    return {
+        "machine_info": machine_info or {"cpu": {"brand_raw": "x", "count": 4}},
+        "commit_info": {},
+        "benchmarks": [
+            {"name": name, "stats": {"median": median}}
+            for name, median in medians.items()
+        ],
+        "datetime": "2026-08-07T00:00:00+00:00",
+        "version": "5.2.3",
+    }
+
+
+# ------------------------------------------------------------- bench_compare
+class TestBenchCompare:
+    HOT = ("hot_a", "hot_b")
+
+    def test_identical_medians_pass(self):
+        medians = {"hot_a": 1.0, "hot_b": 2.0, "cold": 3.0}
+        rows, failures = bench_compare.compare(medians, dict(medians), self.HOT, 2.0)
+        assert failures == []
+        assert len(rows) == 3
+
+    def test_two_x_slowdown_fails(self):
+        baseline = {"hot_a": 1.0}
+        fresh = {"hot_a": 2.5}
+        _, failures = bench_compare.compare(fresh, baseline, self.HOT, 2.0)
+        assert len(failures) == 1
+        assert "regressed 2.50x" in failures[0]
+
+    def test_slowdown_on_cold_benchmark_does_not_fail(self):
+        baseline = {"hot_a": 1.0, "cold": 1.0}
+        fresh = {"hot_a": 1.0, "cold": 10.0}
+        _, failures = bench_compare.compare(fresh, baseline, self.HOT, 2.0)
+        assert failures == []
+
+    def test_hot_path_vanishing_from_fresh_fails(self):
+        baseline = {"hot_a": 1.0}
+        _, failures = bench_compare.compare({}, baseline, self.HOT, 2.0)
+        assert any("missing from the fresh" in failure for failure in failures)
+
+    def test_hot_path_absent_from_both_sides_is_skipped(self):
+        rows, failures = bench_compare.compare({}, {}, self.HOT, 2.0)
+        assert failures == []
+        assert all("absent from both sides" in status for _, status, _ in rows)
+
+    def test_new_hot_path_without_baseline_is_skipped(self):
+        rows, failures = bench_compare.compare({"hot_a": 5.0}, {}, ("hot_a",), 2.0)
+        assert failures == []
+        assert "no baseline yet" in rows[0][1]
+
+    def test_merge_medians_first_occurrence_wins(self):
+        merged = bench_compare.merge_medians(
+            [bench_payload({"a": 1.0}), bench_payload({"a": 9.0, "b": 2.0})]
+        )
+        assert merged == {"a": 1.0, "b": 2.0}
+
+    def test_machine_caveats_flag_cross_machine_runs(self):
+        base = bench_payload({}, machine_info={"cpu": {"brand_raw": "x", "count": 4}})
+        other = bench_payload({}, machine_info={"cpu": {"brand_raw": "y", "count": 4}})
+        assert bench_compare.machine_caveats(base, [base]) == []
+        caveats = bench_compare.machine_caveats(base, [other])
+        assert len(caveats) == 1
+        assert "different machines" in caveats[0]
+
+    def test_main_seed_vs_seed_passes(self, capsys):
+        code = bench_compare.main([str(SEED_BENCH), "--baseline", str(SEED_BENCH)])
+        assert code == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_main_synthetic_two_x_slowdown_exits_nonzero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "fresh.json"
+        baseline.write_text(json.dumps(bench_payload({"hot_a": 1.0})))
+        fresh.write_text(json.dumps(bench_payload({"hot_a": 2.1})))
+        code = bench_compare.main(
+            [str(fresh), "--baseline", str(baseline), "--hot-path", "hot_a"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regressed 2.10x" in captured.err
+
+    def test_main_missing_file_exits_two(self, tmp_path):
+        assert bench_compare.main([str(tmp_path / "nope.json")]) == 2
+
+
+# -------------------------------------------------------------- check_fusion
+def fusion_record(rule="any", scenario="s"):
+    return {
+        "scenario": scenario,
+        "metrics": {
+            "fusion": rule,
+            "num_features": 2,
+            "mean_utility": 0.5,
+            "per_feature": {
+                "num_dns_connections": {
+                    "mean_false_positive_rate": 0.01,
+                    "mean_detection_rate": 0.9,
+                }
+            },
+        },
+    }
+
+
+class TestCheckFusion:
+    def test_valid_records_pass(self):
+        records = [fusion_record(scenario=f"s{i}") for i in range(3)]
+        assert check_fusion.check(records, expect=3) == []
+
+    def test_wrong_count_fails(self):
+        assert check_fusion.check([fusion_record()], expect=2)
+
+    def test_unknown_rule_and_missing_per_feature_fail(self):
+        bad = fusion_record(rule="median-vote")
+        bad["metrics"]["per_feature"] = {}
+        errors = check_fusion.check([bad], expect=1)
+        assert any("unknown fusion rule" in error for error in errors)
+        assert any("per-feature metrics missing" in error for error in errors)
+
+    def test_main_on_real_style_store(self, tmp_path, capsys):
+        store = tmp_path / "fusion.jsonl"
+        store.write_text(
+            "\n".join(json.dumps(fusion_record(scenario=f"s{i}")) for i in range(2))
+        )
+        assert check_fusion.main([str(store), "--expect", "2"]) == 0
+        assert "carry fused + per-feature metrics" in capsys.readouterr().out
+        assert check_fusion.main([str(store), "--expect", "3"]) == 1
+
+
+# ------------------------------------------------------ check_cooptimization
+def coopt_record(optimizer, utility, policy="identical", rule="any"):
+    return {
+        "scenario": f"{policy}/{rule}/{optimizer}",
+        "metrics": {
+            "optimizer": optimizer,
+            "objective_value": utility,
+            "optimizer_iterations": 3,
+            "mean_utility": utility,
+        },
+        "spec": {
+            "policy": {"kind": policy},
+            "evaluation": {"fusion": {"rule": rule}, "optimizer": {"kind": optimizer}},
+        },
+    }
+
+
+class TestCheckCooptimization:
+    def test_coordinate_ascent_beating_independent_passes(self):
+        records = [
+            coopt_record("independent", 0.4),
+            coopt_record("coordinate-ascent", 0.6),
+        ]
+        assert check_cooptimization.check(records, expect=2) == []
+        gaps = check_cooptimization.utility_gaps(records)
+        assert gaps[("identical", "any")] == 0.6 - 0.4
+
+    def test_no_gap_anywhere_fails(self):
+        records = [
+            coopt_record("independent", 0.6),
+            coopt_record("coordinate-ascent", 0.4),
+        ]
+        errors = check_cooptimization.check(records, expect=2)
+        assert any("no fused-utility gap" in error for error in errors)
+
+    def test_spec_disagreement_and_null_objective_fail(self):
+        bad = coopt_record("coordinate-ascent", None)
+        bad["spec"]["evaluation"]["optimizer"]["kind"] = "independent"
+        errors = check_cooptimization.check([bad], expect=1)
+        assert any("objective_value missing" in error for error in errors)
+        assert any("disagrees" in error for error in errors)
+
+    def test_main_exit_codes(self, tmp_path):
+        store = tmp_path / "coopt.jsonl"
+        store.write_text(
+            "\n".join(
+                json.dumps(record)
+                for record in (
+                    coopt_record("independent", 0.4),
+                    coopt_record("coordinate-ascent", 0.6),
+                )
+            )
+        )
+        assert check_cooptimization.main([str(store), "--expect", "2"]) == 0
+        assert check_cooptimization.main([str(tmp_path / "nope.jsonl")]) == 2
+
+
+# ------------------------------------------------------------ check_timeline
+def timeline_record(schedule_kind, schedule_name, utility, drift="seasonal"):
+    weeks = {
+        str(week): {"mean_utility": utility, "weeks_since_retrain": week}
+        for week in (1, 2, 3, 4)
+    }
+    return {
+        "schema": 4,
+        "scenario": f"{drift}/{schedule_name}",
+        "metrics": {
+            "schedule": schedule_name,
+            "num_timeline_weeks": 4,
+            "timeline": weeks,
+            "retrain_count": 0 if schedule_kind == "never" else 2,
+            "retrain_weeks": [],
+            "utility_decay_slope": -0.01,
+            "training_cost_seconds": 0.1,
+            "mean_utility": utility,
+        },
+        "spec": {
+            "policy": {"kind": "identical"},
+            "population": {"drift": {"kind": drift}},
+            "evaluation": {"schedule": {"kind": schedule_kind}},
+        },
+    }
+
+
+def timeline_store(never=0.1, every=0.2, triggered=0.3):
+    return [
+        timeline_record("never", "never", never),
+        timeline_record("every-k-weeks", "every-1-weeks", every),
+        timeline_record("drift-triggered", "drift-triggered@0.05", triggered),
+    ]
+
+
+class TestCheckTimeline:
+    def test_retraining_beating_never_passes(self):
+        assert check_timeline.check(timeline_store(), expect=3) == []
+
+    def test_retraining_losing_to_never_fails(self):
+        errors = check_timeline.check(timeline_store(every=0.05), expect=3)
+        assert any("does not beat never" in error for error in errors)
+
+    def test_schema_and_week_table_violations_fail(self):
+        records = timeline_store()
+        records[0]["schema"] = 3
+        del records[1]["metrics"]["timeline"]["4"]
+        errors = check_timeline.check(records, expect=3)
+        assert any("schema 3" in error for error in errors)
+        assert any("missing weeks" in error for error in errors)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        store = tmp_path / "cadence.jsonl"
+        store.write_text("\n".join(json.dumps(r) for r in timeline_store()))
+        assert check_timeline.main([str(store), "--expect", "3"]) == 0
+        assert "retraining strictly beats 'never'" in capsys.readouterr().out
+        assert check_timeline.main([str(store), "--expect", "18"]) == 1
+
+
+# -------------------------------------------------------- check_result_cache
+class TestCheckResultCache:
+    def test_cached_rerun_output_passes(self):
+        output = "loaded store\nskipped 27 scenario(s) already in fusion-smoke.jsonl\n"
+        assert check_result_cache.check(output, expect_skipped=27) is None
+
+    def test_uncached_rerun_fails(self):
+        assert check_result_cache.check("ran 27 scenario(s)", expect_skipped=27)
+        assert check_result_cache.check(
+            "skipped 12 scenario(s) already in store", expect_skipped=27
+        )
+
+    def test_main_exit_codes(self, tmp_path):
+        out = tmp_path / "rerun.txt"
+        out.write_text("skipped 27 scenario(s) already in fusion-smoke.jsonl\n")
+        assert check_result_cache.main([str(out)]) == 0
+        assert check_result_cache.main([str(out), "--expect-skipped", "12"]) == 1
+        assert check_result_cache.main([str(tmp_path / "nope.txt")]) == 2
