@@ -22,6 +22,7 @@ bit for bit.
 from __future__ import annotations
 
 import inspect
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
@@ -38,9 +39,12 @@ from repro.features.definitions import Feature
 from repro.features.timeseries import FeatureMatrix, TimeSeries
 from repro.stats.empirical import EmpiricalDistribution
 from repro.stats.summary import SummaryStatistics, summarize
+from repro.telemetry import add_count, trace_span
 from repro.utils.deprecation import warn_deprecated
 from repro.utils.timeutils import WEEK
 from repro.utils.validation import require, require_probability
+
+logger = logging.getLogger(__name__)
 
 #: Signature of a per-host attack builder used during evaluation (legacy,
 #: two-argument form; still accepted everywhere).
@@ -494,18 +498,30 @@ def evaluate_policy(
     require(len(matrices) > 0, "matrices must cover at least one host")
     features = protocol.features
 
-    training = detection_training_distributions(
-        matrices, features, protocol.train_week, active_bins_only=protocol.train_on_active_bins
-    )
-    assignment = policy.assign(
-        training,
-        grouping_statistic_percentile=protocol.grouping_statistic_percentile,
-        fusion=protocol.fusion,
-    )
+    with trace_span("core.evaluate", policy=policy.name, num_hosts=len(matrices)):
+        with trace_span("core.train"):
+            training = detection_training_distributions(
+                matrices,
+                features,
+                protocol.train_week,
+                active_bins_only=protocol.train_on_active_bins,
+            )
+        with trace_span("core.assign"):
+            assignment = policy.assign(
+                training,
+                grouping_statistic_percentile=protocol.grouping_statistic_percentile,
+                fusion=protocol.fusion,
+            )
 
-    performances = measure_assignment(
-        matrices, assignment, protocol, attack_builder=attack_builder
-    )
+        performances = measure_assignment(
+            matrices, assignment, protocol, attack_builder=attack_builder
+        )
+        logger.debug(
+            "evaluated policy %s over %d host(s), %d feature(s)",
+            policy.name,
+            len(matrices),
+            len(features),
+        )
 
     return PolicyEvaluation(
         policy_name=policy.name,
@@ -548,91 +564,100 @@ def measure_assignment(
     week = protocol.test_week if test_week is None else int(test_week)
     require(week >= 0, "test_week must be non-negative")
 
-    performances: Dict[int, HostPerformance] = {}
-    for host_id, matrix in matrices.items():
-        thresholds = {
-            feature: assignment.for_feature(feature).threshold_of(host_id)
-            for feature in features
-        }
-        detectors = {
-            feature: ThresholdDetector(host_id=host_id, feature=feature, threshold=thresholds[feature])
-            for feature in features
-        }
-        test_matrix = matrix.week(week)
-        benign = {feature: test_matrix.series(feature) for feature in features}
-
-        feature_counts = {
-            feature: detectors[feature].alarm_count(benign[feature]) for feature in features
-        }
-        feature_fp = {
-            feature: detectors[feature].false_positive_rate(benign[feature])
-            for feature in features
-        }
-
-        feature_fn: Dict[Feature, float] = {feature: 0.0 for feature in features}
-        feature_alarm: Dict[Feature, Optional[bool]] = {feature: None for feature in features}
-        fused_fn = 0.0
-        alarm_raised: Optional[bool] = None
-        injections: Dict[Feature, InjectedSeries] = {}
-        if builder is not None:
-            if attack_assignment is None:
-                attack_thresholds = thresholds
-            else:
-                attack_thresholds = {
-                    feature: attack_assignment.for_feature(feature).threshold_of(host_id)
-                    for feature in features
-                }
-            attack = builder(host_id, test_matrix, attack_thresholds)
-            if attack is not None:
-                injections = _feature_injections(attack, benign)
-                for feature, injected in injections.items():
-                    feature_fn[feature] = detectors[feature].false_negative_rate(
-                        benign[feature], injected.attack_amounts
-                    )
-                    if injected.num_attack_bins > 0:
-                        feature_alarm[feature] = feature_fn[feature] < 1.0
-                if len(features) > 1:
-                    fused_fn, alarm_raised = _fused_false_negative_rate(
-                        features, fusion, thresholds, benign, injections
-                    )
-
-        if len(features) == 1:
-            # Bit-identical legacy path: the fused view of one feature IS the
-            # per-feature view (any fusion rule needs exactly 1 vote of 1).
-            only = features[0]
-            fused_point = OperatingPoint(
-                false_positive_rate=feature_fp[only], false_negative_rate=feature_fn[only]
-            )
-            fused_count = feature_counts[only]
-            alarm_raised = feature_alarm[only]
-            fused_fn = feature_fn[only]
-        else:
-            benign_indicators = np.stack(
-                [np.asarray(benign[feature].values) > thresholds[feature] for feature in features]
-            )
-            fused_benign = fusion.fuse(benign_indicators)
-            fused_count = int(np.count_nonzero(fused_benign))
-            fused_point = OperatingPoint(
-                false_positive_rate=float(fused_count) / benign[features[0]].num_bins,
-                false_negative_rate=fused_fn,
-            )
-
-        performances[host_id] = HostPerformance(
-            host_id=host_id,
-            thresholds=thresholds,
-            feature_operating_points={
-                feature: OperatingPoint(
-                    false_positive_rate=feature_fp[feature],
-                    false_negative_rate=feature_fn[feature],
+    with trace_span("core.measure", num_hosts=len(matrices), test_week=week):
+        add_count("core.host_weeks_measured", len(matrices))
+        performances: Dict[int, HostPerformance] = {}
+        for host_id, matrix in matrices.items():
+            thresholds = {
+                feature: assignment.for_feature(feature).threshold_of(host_id)
+                for feature in features
+            }
+            detectors = {
+                feature: ThresholdDetector(
+                    host_id=host_id, feature=feature, threshold=thresholds[feature]
                 )
                 for feature in features
-            },
-            feature_false_alarm_counts=feature_counts,
-            operating_point=fused_point,
-            false_alarm_count=fused_count,
-            alarm_raised=alarm_raised,
-            feature_alarm_raised=feature_alarm,
-        )
+            }
+            test_matrix = matrix.week(week)
+            benign = {feature: test_matrix.series(feature) for feature in features}
+
+            feature_counts = {
+                feature: detectors[feature].alarm_count(benign[feature]) for feature in features
+            }
+            feature_fp = {
+                feature: detectors[feature].false_positive_rate(benign[feature])
+                for feature in features
+            }
+
+            feature_fn: Dict[Feature, float] = {feature: 0.0 for feature in features}
+            feature_alarm: Dict[Feature, Optional[bool]] = {
+                feature: None for feature in features
+            }
+            fused_fn = 0.0
+            alarm_raised: Optional[bool] = None
+            injections: Dict[Feature, InjectedSeries] = {}
+            if builder is not None:
+                if attack_assignment is None:
+                    attack_thresholds = thresholds
+                else:
+                    attack_thresholds = {
+                        feature: attack_assignment.for_feature(feature).threshold_of(host_id)
+                        for feature in features
+                    }
+                attack = builder(host_id, test_matrix, attack_thresholds)
+                if attack is not None:
+                    injections = _feature_injections(attack, benign)
+                    for feature, injected in injections.items():
+                        feature_fn[feature] = detectors[feature].false_negative_rate(
+                            benign[feature], injected.attack_amounts
+                        )
+                        if injected.num_attack_bins > 0:
+                            feature_alarm[feature] = feature_fn[feature] < 1.0
+                    if len(features) > 1:
+                        fused_fn, alarm_raised = _fused_false_negative_rate(
+                            features, fusion, thresholds, benign, injections
+                        )
+
+            if len(features) == 1:
+                # Bit-identical legacy path: the fused view of one feature IS the
+                # per-feature view (any fusion rule needs exactly 1 vote of 1).
+                only = features[0]
+                fused_point = OperatingPoint(
+                    false_positive_rate=feature_fp[only], false_negative_rate=feature_fn[only]
+                )
+                fused_count = feature_counts[only]
+                alarm_raised = feature_alarm[only]
+                fused_fn = feature_fn[only]
+            else:
+                benign_indicators = np.stack(
+                    [
+                        np.asarray(benign[feature].values) > thresholds[feature]
+                        for feature in features
+                    ]
+                )
+                fused_benign = fusion.fuse(benign_indicators)
+                fused_count = int(np.count_nonzero(fused_benign))
+                fused_point = OperatingPoint(
+                    false_positive_rate=float(fused_count) / benign[features[0]].num_bins,
+                    false_negative_rate=fused_fn,
+                )
+
+            performances[host_id] = HostPerformance(
+                host_id=host_id,
+                thresholds=thresholds,
+                feature_operating_points={
+                    feature: OperatingPoint(
+                        false_positive_rate=feature_fp[feature],
+                        false_negative_rate=feature_fn[feature],
+                    )
+                    for feature in features
+                },
+                feature_false_alarm_counts=feature_counts,
+                operating_point=fused_point,
+                false_alarm_count=fused_count,
+                alarm_raised=alarm_raised,
+                feature_alarm_raised=feature_alarm,
+            )
     return performances
 
 

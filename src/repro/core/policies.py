@@ -15,6 +15,7 @@ vector for the protocol's *fused* utility under one shared grouping.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -32,7 +33,10 @@ from repro.core.thresholds import DEFAULT_PERCENTILE, PercentileHeuristic, Thres
 from repro.features.definitions import Feature
 from repro.optimize import FusedUtilityObjective, OptimizationReport, ThresholdOptimizer
 from repro.stats.empirical import EmpiricalDistribution
+from repro.telemetry import add_count, trace_span
 from repro.utils.validation import require
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -337,6 +341,7 @@ class ConfigurationPolicy:
         require(len(training_distributions) > 0, "training data must cover at least one feature")
         host_sets = {frozenset(dists) for dists in training_distributions.values()}
         require(len(host_sets) == 1, "every feature's training data must cover the same hosts")
+        add_count("optimize.assignments")
         if self._optimizer is not None and self._optimizer.joint:
             return self._assign_jointly(
                 training_distributions,
@@ -391,29 +396,40 @@ class ConfigurationPolicy:
         total_iterations = 0
         weighted_objective = 0.0
         num_hosts = 0
-        for group_index, group in enumerate(grouping.groups):
-            members = [
-                {feature: training_distributions[feature][host_id] for feature in features}
-                for host_id in group
-            ]
-            optimized = self._optimizer.optimize_group(
-                members,
-                features,
-                objective,
-                self._heuristic,
-                warm_start=warm_vectors[group_index] if warm_vectors is not None else None,
-            )
-            total_iterations += optimized.iterations
-            # The group's objective value IS the mean member utility at the
-            # chosen vector, so the population mean is the size-weighted mean
-            # of the per-group values — no re-scoring needed.
-            weighted_objective += optimized.objective_value * len(group)
-            num_hosts += len(group)
-            for feature in features:
-                value = optimized.thresholds[feature]
-                group_thresholds[feature].append(value)
-                for host_id in group:
-                    thresholds[feature][host_id] = value
+        with trace_span(
+            "optimize.joint", optimizer=self._optimizer.name, num_groups=grouping.num_groups
+        ):
+            for group_index, group in enumerate(grouping.groups):
+                members = [
+                    {feature: training_distributions[feature][host_id] for feature in features}
+                    for host_id in group
+                ]
+                optimized = self._optimizer.optimize_group(
+                    members,
+                    features,
+                    objective,
+                    self._heuristic,
+                    warm_start=warm_vectors[group_index] if warm_vectors is not None else None,
+                )
+                total_iterations += optimized.iterations
+                # The group's objective value IS the mean member utility at the
+                # chosen vector, so the population mean is the size-weighted mean
+                # of the per-group values — no re-scoring needed.
+                weighted_objective += optimized.objective_value * len(group)
+                num_hosts += len(group)
+                for feature in features:
+                    value = optimized.thresholds[feature]
+                    group_thresholds[feature].append(value)
+                    for host_id in group:
+                        thresholds[feature][host_id] = value
+        add_count("optimize.iterations", total_iterations)
+        logger.debug(
+            "joint optimization (%s): %d group(s), %d iteration(s), objective %.4f",
+            self._optimizer.name,
+            grouping.num_groups,
+            total_iterations,
+            weighted_objective / num_hosts,
+        )
 
         per_feature = {
             feature: ThresholdAssignment(

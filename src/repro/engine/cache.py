@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import warnings
 from pathlib import Path
@@ -22,9 +23,12 @@ from repro.engine.serialization import (
     read_population,
     write_population,
 )
+from repro.telemetry import trace_span
 from repro.utils.validation import ValidationError
 from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation
 from repro.workload.profiles import UserRole
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable naming the cache directory (enables caching when set).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -88,13 +92,22 @@ class PopulationCache:
     ) -> Optional[EnterprisePopulation]:
         """Return the cached population, or None on a miss or unreadable file."""
         path = self.path_for(config, roles)
-        if not path.is_file():
-            return None
-        try:
-            return read_population(path)
-        except (ValidationError, OSError, ValueError, KeyError):
-            # A corrupt or stale-format file is a miss; regeneration overwrites it.
-            return None
+        with trace_span("engine.cache.read") as span:
+            if not path.is_file():
+                span.set(hit=False)
+                logger.debug("population cache miss: %s", path)
+                return None
+            try:
+                with trace_span("engine.cache.deserialize"):
+                    population = read_population(path)
+            except (ValidationError, OSError, ValueError, KeyError):
+                # A corrupt or stale-format file is a miss; regeneration overwrites it.
+                span.set(hit=False)
+                logger.debug("population cache file unreadable, treating as miss: %s", path)
+                return None
+            span.set(hit=True)
+            logger.debug("population cache hit: %s (%d hosts)", path, len(population))
+            return population
 
     def store(
         self,
@@ -110,16 +123,19 @@ class PopulationCache:
         """
         path = self.path_for(population.config, roles)
         temporary = path.with_suffix(f".tmp{os.getpid()}")
-        try:
-            self._directory.mkdir(parents=True, exist_ok=True)
-            write_population(temporary, population)
-            os.replace(temporary, path)
-        except OSError as error:
-            warnings.warn(f"population cache write to {path} failed: {error}", stacklevel=2)
-            return None
-        finally:
-            if temporary.exists():
-                temporary.unlink()
+        with trace_span("engine.cache.write"):
+            try:
+                self._directory.mkdir(parents=True, exist_ok=True)
+                with trace_span("engine.cache.serialize"):
+                    write_population(temporary, population)
+                os.replace(temporary, path)
+            except OSError as error:
+                warnings.warn(f"population cache write to {path} failed: {error}", stacklevel=2)
+                return None
+            finally:
+                if temporary.exists():
+                    temporary.unlink()
+        logger.debug("population cached: %s (%d hosts)", path, len(population))
         return path
 
     def clear(self) -> int:

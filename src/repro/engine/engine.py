@@ -23,15 +23,17 @@ engine is passed):
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, PopulationCache, resolve_cache_dir
 from repro.features.timeseries import FeatureMatrix
+from repro.telemetry import add_count, child_recorder, get_recorder, trace_span
 from repro.utils.rng import RandomSource
 from repro.utils.validation import ValidationError, require
 from repro.workload.enterprise import (
@@ -41,6 +43,8 @@ from repro.workload.enterprise import (
     generate_host,
 )
 from repro.workload.profiles import HostProfile, UserRole
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable overriding the worker-process count.
 WORKERS_ENV = "REPRO_ENGINE_WORKERS"
@@ -81,12 +85,27 @@ def _generate_host_chunk(
     random_source = RandomSource(seed=config.seed, label="enterprise")
     events = build_population_events(config)
     results: List[Tuple[int, HostProfile, FeatureMatrix]] = []
-    for host_id in host_ids:
-        profile, matrix = generate_host(
-            config, host_id, random_source, events, role=roles.get(host_id)
-        )
-        results.append((host_id, profile, matrix))
+    with trace_span("engine.generate_chunk", num_hosts=len(host_ids)):
+        for host_id in host_ids:
+            profile, matrix = generate_host(
+                config, host_id, random_source, events, role=roles.get(host_id)
+            )
+            results.append((host_id, profile, matrix))
+    # Counted here — inside the worker for parallel runs, inline for serial
+    # ones — so parallel and serial counter totals match bit for bit.
+    add_count("engine.hosts_generated", len(results))
     return results
+
+
+def _generate_host_chunk_task(
+    config: EnterpriseConfig,
+    host_ids: Sequence[int],
+    roles: Mapping[int, UserRole],
+) -> Tuple[List[Tuple[int, HostProfile, FeatureMatrix]], Dict[str, Any]]:
+    """Pool entry point: a host chunk plus the worker's telemetry snapshot."""
+    with child_recorder() as recorder:
+        results = _generate_host_chunk(config, host_ids, roles)
+    return results, recorder.snapshot()
 
 
 @dataclass(frozen=True)
@@ -229,39 +248,64 @@ class PopulationEngine:
         config = config if config is not None else EnterpriseConfig()
         started = time.perf_counter()
 
-        if self._cache is not None:
-            cached = self._cache.load(config, roles)
-            if cached is not None:
-                self._last_report = GenerationReport(
-                    num_hosts=len(cached),
-                    workers=0,
-                    duration_seconds=time.perf_counter() - started,
-                    cache_hit=True,
-                    cache_path=str(self._cache.path_for(config, roles)),
+        with trace_span(
+            "engine.generate", num_hosts=config.num_hosts, num_weeks=config.num_weeks
+        ) as span:
+            if self._cache is not None:
+                cached = self._cache.load(config, roles)
+                if cached is not None:
+                    span.set(cache_hit=True)
+                    add_count("engine.cache.hits")
+                    duration = time.perf_counter() - started
+                    self._last_report = GenerationReport(
+                        num_hosts=len(cached),
+                        workers=0,
+                        duration_seconds=duration,
+                        cache_hit=True,
+                        cache_path=str(self._cache.path_for(config, roles)),
+                    )
+                    self._stats = replace(self._stats, cache_hits=self._stats.cache_hits + 1)
+                    logger.info(
+                        "population served from cache: %d hosts in %.3fs",
+                        len(cached),
+                        duration,
+                    )
+                    return cached
+                add_count("engine.cache.misses")
+
+            span.set(cache_hit=False)
+            workers = self._effective_workers(config.num_hosts)
+            if workers > 1:
+                profiles, matrices, workers = self._generate_parallel(
+                    config, roles or {}, workers
                 )
-                self._stats = replace(self._stats, cache_hits=self._stats.cache_hits + 1)
-                return cached
+            else:
+                profiles, matrices = self._generate_serial(config, roles or {})
+            population = EnterprisePopulation(
+                config=config, profiles=profiles, matrices=matrices
+            )
 
-        workers = self._effective_workers(config.num_hosts)
-        if workers > 1:
-            profiles, matrices, workers = self._generate_parallel(config, roles or {}, workers)
-        else:
-            profiles, matrices = self._generate_serial(config, roles or {})
-        population = EnterprisePopulation(config=config, profiles=profiles, matrices=matrices)
-
-        cache_path: Optional[str] = None
-        if self._cache is not None:
-            stored = self._cache.store(population, roles)
-            cache_path = str(stored) if stored is not None else None
-        self._last_report = GenerationReport(
-            num_hosts=len(population),
-            workers=workers,
-            duration_seconds=time.perf_counter() - started,
-            cache_hit=False,
-            cache_path=cache_path,
-        )
-        self._stats = replace(self._stats, generations=self._stats.generations + 1)
-        return population
+            cache_path: Optional[str] = None
+            if self._cache is not None:
+                stored = self._cache.store(population, roles)
+                cache_path = str(stored) if stored is not None else None
+            duration = time.perf_counter() - started
+            self._last_report = GenerationReport(
+                num_hosts=len(population),
+                workers=workers,
+                duration_seconds=duration,
+                cache_hit=False,
+                cache_path=cache_path,
+            )
+            self._stats = replace(self._stats, generations=self._stats.generations + 1)
+            add_count("engine.populations_generated")
+            logger.info(
+                "population generated: %d hosts on %d worker(s) in %.3fs",
+                len(population),
+                workers,
+                duration,
+            )
+            return population
 
     def _effective_workers(self, num_hosts: int) -> int:
         if num_hosts < self._min_parallel_hosts:
@@ -288,15 +332,19 @@ class PopulationEngine:
         generation, which is bit-identical anyway, and reports ``1``.
         """
         chunks = _chunk_host_ids(config.num_hosts, workers)
+        recorder = get_recorder()
         try:
             with ProcessPoolExecutor(max_workers=workers) as executor:
                 futures = [
-                    executor.submit(_generate_host_chunk, config, chunk, dict(roles))
+                    executor.submit(_generate_host_chunk_task, config, chunk, dict(roles))
                     for chunk in chunks
                 ]
                 results: List[Tuple[int, HostProfile, FeatureMatrix]] = []
                 for future in futures:
-                    results.extend(future.result())
+                    chunk_results, telemetry = future.result()
+                    results.extend(chunk_results)
+                    if recorder.enabled:
+                        recorder.merge(telemetry)
         except (OSError, BrokenProcessPool, AssertionError):
             # OSError: no process spawning / shared memory; BrokenProcessPool:
             # workers died without a result; AssertionError is what daemonic

@@ -80,6 +80,13 @@ def _render_report(payload: Dict[str, Any]) -> str:
         f"({totals['scenarios_per_second']:.2f} scenarios/s, "
         f"{totals['host_weeks_per_second']:.1f} host-weeks/s)"
     )
+    # Reports written before the engine_cache field existed render without it.
+    cache = payload.get("engine_cache")
+    if cache is not None:
+        summary += (
+            f"\nengine cache: {cache['hits']} hit(s), {cache['misses']} miss(es) "
+            f"({cache['hit_ratio']:.0%} hit ratio)"
+        )
     return f"{table}\n{summary}"
 
 
@@ -141,14 +148,19 @@ def _cmd_loadgen_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def add_loadgen_parser(subcommands, add_engine_flags) -> None:
+def add_loadgen_parser(subcommands, add_engine_flags, add_output_flags=None) -> None:
     """Register the ``loadgen`` subcommand on the main ``repro`` parser."""
     loadgen = subcommands.add_parser(
         "loadgen", help="profile-driven load generation and soak testing"
     )
     loadgen_sub = loadgen.add_subparsers(dest="loadgen_command", required=True)
 
+    def output_flags(parser) -> None:
+        if add_output_flags is not None:
+            add_output_flags(parser)
+
     listing = loadgen_sub.add_parser("list", help="show the packaged profile tiers")
+    output_flags(listing)
     listing.set_defaults(handler=_cmd_loadgen_list)
 
     run = loadgen_sub.add_parser("run", help="execute a load profile")
@@ -162,10 +174,12 @@ def add_loadgen_parser(subcommands, add_engine_flags) -> None:
         "(feeds scripts/bench_compare.py)",
     )
     add_engine_flags(run)
+    output_flags(run)
     run.set_defaults(handler=_cmd_loadgen_run)
 
     report = loadgen_sub.add_parser("report", help="render a saved load report")
     report.add_argument("report", help="report JSON written by `repro loadgen run --json`")
+    output_flags(report)
     report.set_defaults(handler=_cmd_loadgen_report)
 
 

@@ -151,12 +151,19 @@ class MetricsRecorder:
 
 @dataclass(frozen=True)
 class LoadReport:
-    """The full result of one load-generation run."""
+    """The full result of one load-generation run.
+
+    ``engine_cache`` carries the population-engine cache effectiveness over
+    the run (``hits``/``misses``/``hit_ratio``), so cache regressions show in
+    ``repro loadgen report`` without digging through BENCH JSON; ``None`` on
+    reports written before the field existed.
+    """
 
     profile: LoadProfile
     phases: Tuple[PhaseMetrics, ...]
     duration_seconds: float
     timestamp: str
+    engine_cache: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         require(len(self.phases) >= 1, "a load report needs at least one phase")
@@ -187,7 +194,7 @@ class LoadReport:
 
     def to_dict(self) -> Dict[str, Any]:
         """The plain report payload (``repro loadgen run --json``)."""
-        return {
+        payload = {
             "profile": self.profile.to_dict(),
             "timestamp": self.timestamp,
             "duration_seconds": self.duration_seconds,
@@ -199,6 +206,9 @@ class LoadReport:
             },
             "phases": [phase.to_dict() for phase in self.phases],
         }
+        if self.engine_cache is not None:
+            payload["engine_cache"] = dict(self.engine_cache)
+        return payload
 
     # --------------------------------------------------------- BENCH trajectory
     def to_bench_json(

@@ -5,20 +5,24 @@ deterministic event stream :func:`~repro.loadgen.phases.plan_events`
 produces:
 
 * ``burst`` phases go through the :class:`~repro.sweeps.runner.SweepRunner`
-  (the campaign path), with the runner's per-scenario ``timing`` hook
-  feeding the phase's latency samples;
+  (the campaign path), with the phase's latency samples read off the
+  runner's ``sweeps.scenario`` telemetry spans;
 * ``steady-ramp``/``flash-crowd``/``failure-injection`` phases evaluate each
   event directly via :func:`~repro.core.evaluation.evaluate_policy` on the
   event's skew-selected host subset — with dropped hosts removed and
-  corrupted hosts' matrices bin-masked first;
+  corrupted hosts' matrices bin-masked first — one ``loadgen.event`` span
+  per event;
 * ``soak`` phases run one :func:`~repro.temporal.evaluate_timeline` pass,
-  recording one latency sample per deployed week through the timeline's
-  ``week_hook``.
+  recording one latency sample per deployed week from the timeline's
+  ``temporal.week`` spans.
 
-All wall-clock measurement goes through an injectable ``clock`` so tests can
-substitute a fake and assert the metrics JSON reproduces bit for bit; with
-the default :func:`time.perf_counter` the numbers are real.  Populations are
-generated once per distinct configuration through the
+Every latency and duration sample is a telemetry span duration: when no
+ambient recorder is installed (the default), the orchestrator creates a
+local :class:`~repro.telemetry.TelemetryRecorder` bound to its injectable
+``clock``, so tests can substitute a fake clock and assert the metrics JSON
+reproduces bit for bit; under ``repro --trace`` the run records into the
+CLI's recorder (and the phases appear as spans in the exported trace).
+Populations are generated once per distinct configuration through the
 :class:`~repro.engine.PopulationEngine` (give the engine a cache directory
 — as CI does — and the burst phase's runner reloads them instead of
 regenerating).
@@ -26,7 +30,9 @@ regenerating).
 
 from __future__ import annotations
 
+import logging
 import time
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -37,10 +43,13 @@ from repro.features.timeseries import FeatureMatrix
 from repro.loadgen.metrics import LoadReport, MetricsRecorder, PhaseMetrics
 from repro.loadgen.phases import LoadEvent, corrupt_matrix, plan_events
 from repro.loadgen.profiles import LoadProfile
-from repro.sweeps.runner import ScenarioResult, SweepRunner, scenario_components
+from repro.sweeps.runner import SweepRunner, scenario_components
 from repro.sweeps.spec import SweepSpec
+from repro.telemetry import TelemetryRecorder, get_recorder, trace_span, use_recorder
 from repro.utils.validation import require
 from repro.workload.enterprise import EnterprisePopulation
+
+logger = logging.getLogger(__name__)
 
 #: Clock signature: a monotonically non-decreasing seconds counter.
 Clock = Callable[[], float]
@@ -87,31 +96,76 @@ class LoadOrchestrator:
         ``timestamp`` stamps the report (injectable for reproducible JSON);
         empty uses the current UTC time.
         """
+        ambient = get_recorder()
+        if ambient.enabled:
+            # Record into the CLI's --trace recorder: phases and events show
+            # up in the exported trace alongside the engine/sweep spans.
+            recorder = ambient
+            context = nullcontext()
+        else:
+            # No ambient tracing: a local recorder bound to the injectable
+            # clock supplies the span durations the metrics are built from
+            # (bit-reproducible under a fake clock).
+            recorder = TelemetryRecorder(clock=self._clock)
+            context = use_recorder(recorder)
+        with context:
+            return self._run_traced(profile, recorder, timestamp)
+
+    def _run_traced(
+        self, profile: LoadProfile, recorder: TelemetryRecorder, timestamp: str
+    ) -> LoadReport:
         started = self._clock()
-        events = plan_events(profile)
-        # Generate every distinct population up front: latency samples then
-        # measure evaluation, not generation (setup still counts toward the
-        # run's total duration).
-        for event in events:
-            self._population(event)
-        phases: List[PhaseMetrics] = []
-        for phase_spec in profile.phases:
-            phase_events = [event for event in events if event.phase == phase_spec.name]
-            recorder = MetricsRecorder(phase_spec.name, phase_spec.kind)
-            phase_started = self._clock()
-            if phase_spec.kind == "burst":
-                self._run_burst(profile, phase_events, recorder)
-            elif phase_spec.kind == "soak":
-                self._run_soak(profile, phase_events[0], recorder)
-            else:
-                for event in phase_events:
-                    self._run_direct(profile, event, recorder)
-            phases.append(recorder.finish(self._clock() - phase_started))
+        stats_before = self._engine.stats
+        logger.info(
+            "loadgen profile %r: %d phase(s), %d host(s)",
+            profile.name,
+            len(profile.phases),
+            profile.num_hosts,
+        )
+        with trace_span("loadgen.run", profile=profile.name):
+            events = plan_events(profile)
+            # Generate every distinct population up front: latency samples then
+            # measure evaluation, not generation (setup still counts toward the
+            # run's total duration).
+            with trace_span("loadgen.populations"):
+                for event in events:
+                    self._population(event)
+            phases: List[PhaseMetrics] = []
+            for phase_spec in profile.phases:
+                phase_events = [
+                    event for event in events if event.phase == phase_spec.name
+                ]
+                metrics = MetricsRecorder(phase_spec.name, phase_spec.kind)
+                with trace_span(
+                    "loadgen.phase", phase=phase_spec.name, kind=phase_spec.kind
+                ) as phase_span:
+                    if phase_spec.kind == "burst":
+                        self._run_burst(profile, phase_events, metrics, recorder)
+                    elif phase_spec.kind == "soak":
+                        self._run_soak(profile, phase_events[0], metrics, recorder)
+                    else:
+                        for event in phase_events:
+                            self._run_direct(profile, event, metrics)
+                phases.append(metrics.finish(phase_span.duration))
+                logger.info(
+                    "phase %r (%s) finished in %.3fs",
+                    phase_spec.name,
+                    phase_spec.kind,
+                    phase_span.duration,
+                )
+        stats_after = self._engine.stats
+        requests = stats_after.requests - stats_before.requests
+        hits = stats_after.cache_hits - stats_before.cache_hits
         return LoadReport(
             profile=profile,
             phases=tuple(phases),
             duration_seconds=self._clock() - started,
             timestamp=timestamp or _utc_now(),
+            engine_cache={
+                "hits": hits,
+                "misses": requests - hits,
+                "hit_ratio": (hits / requests) if requests else 0.0,
+            },
         )
 
     # ------------------------------------------------------------ burst phase
@@ -119,40 +173,47 @@ class LoadOrchestrator:
         self,
         profile: LoadProfile,
         events: List[LoadEvent],
-        recorder: MetricsRecorder,
+        metrics: MetricsRecorder,
+        recorder: TelemetryRecorder,
     ) -> None:
-        """Fire the phase's scenarios back-to-back through the sweep runner."""
+        """Fire the phase's scenarios back-to-back through the sweep runner.
+
+        One latency sample per ``sweeps.scenario`` span the runner records —
+        spans evaluated in pool workers are delivered when their snapshots
+        merge, so parallel bursts sample identically to serial ones.
+        """
         runner = SweepRunner(engine=self._engine, workers=self._workers)
         sweep = SweepSpec(name=f"loadgen-{profile.name}")
         host_weeks = profile.num_hosts * profile.num_weeks
-        last = self._clock()
 
-        def timing(result: ScenarioResult) -> None:
-            nonlocal last
-            now = self._clock()
-            recorder.record(now - last, host_weeks=host_weeks)
-            last = now
+        def on_span(span) -> None:
+            if span.name == "sweeps.scenario":
+                metrics.record(span.duration, host_weeks=host_weeks)
 
-        runner.run(sweep, scenarios=[event.scenario for event in events], timing=timing)
+        recorder.subscribe(on_span)
+        try:
+            runner.run(sweep, scenarios=[event.scenario for event in events])
+        finally:
+            recorder.unsubscribe(on_span)
 
     # ----------------------------------------------------------- direct phases
     def _run_direct(
-        self, profile: LoadProfile, event: LoadEvent, recorder: MetricsRecorder
+        self, profile: LoadProfile, event: LoadEvent, metrics: MetricsRecorder
     ) -> None:
         """Evaluate one event on its host subset (with failures injected)."""
-        started = self._clock()
-        matrices = self._event_matrices(profile, event)
-        components = scenario_components(
-            event.scenario, self._population(event).config.bin_width
-        )
-        evaluate_policy(
-            matrices,
-            components.policy,
-            components.protocol,
-            attack_builder=components.attack_builder,
-        )
-        recorder.record(
-            self._clock() - started,
+        with trace_span("loadgen.event", index=event.index, kind=event.kind) as span:
+            matrices = self._event_matrices(profile, event)
+            components = scenario_components(
+                event.scenario, self._population(event).config.bin_width
+            )
+            evaluate_policy(
+                matrices,
+                components.policy,
+                components.protocol,
+                attack_builder=components.attack_builder,
+            )
+        metrics.record(
+            span.duration,
             host_weeks=len(matrices) * profile.num_weeks,
         )
 
@@ -177,9 +238,13 @@ class LoadOrchestrator:
 
     # ------------------------------------------------------------- soak phase
     def _run_soak(
-        self, profile: LoadProfile, event: LoadEvent, recorder: MetricsRecorder
+        self,
+        profile: LoadProfile,
+        event: LoadEvent,
+        metrics: MetricsRecorder,
+        recorder: TelemetryRecorder,
     ) -> None:
-        """One timeline run; a latency sample per deployed week."""
+        """One timeline run; a latency sample per ``temporal.week`` span."""
         from repro.temporal import evaluate_timeline
 
         population = self._population(event)
@@ -191,23 +256,23 @@ class LoadOrchestrator:
         }
         components = scenario_components(event.scenario, population.config.bin_width)
         require(components.schedule is not None, "soak events must carry a schedule")
-        last = self._clock()
 
-        def week_hook(entry) -> None:
-            nonlocal last
-            now = self._clock()
-            recorder.record(now - last, host_weeks=len(matrices), events=0)
-            last = now
+        def on_span(span) -> None:
+            if span.name == "temporal.week":
+                metrics.record(span.duration, host_weeks=len(matrices), events=0)
 
-        evaluate_timeline(
-            matrices,
-            components.policy,
-            components.protocol,
-            components.schedule,
-            attack_builder=components.attack_builder,
-            week_hook=week_hook,
-        )
-        recorder.count_events(1)
+        recorder.subscribe(on_span)
+        try:
+            evaluate_timeline(
+                matrices,
+                components.policy,
+                components.protocol,
+                components.schedule,
+                attack_builder=components.attack_builder,
+            )
+        finally:
+            recorder.unsubscribe(on_span)
+        metrics.count_events(1)
 
     # -------------------------------------------------------------- populations
     def _population(self, event: LoadEvent) -> EnterprisePopulation:

@@ -12,6 +12,13 @@ and also reachable as ``python -m repro``::
     repro timeline sweep-retrain-cadence.jsonl  # utility-vs-week tables
     repro loadgen run demo                    # tiered load generation
     repro experiments --paper-scale           # Figures 1-6, Tables 2-3
+    repro sweep run policy-grid --trace t.jsonl  # record a telemetry trace
+    repro trace report t.jsonl                # per-span timing summary
+    repro trace convert t.jsonl t.chrome.json # Perfetto/chrome://tracing
+
+Every leaf subcommand accepts ``-v/--verbose`` and ``-q/--quiet`` (package
+logging level) plus ``--trace PATH`` / ``--trace-format jsonl|chrome`` to
+record the run's telemetry spans and counters.
 """
 
 from __future__ import annotations
@@ -34,6 +41,16 @@ from repro.sweeps.results import (
 )
 from repro.sweeps.runner import ScenarioResult, SweepRunner
 from repro.sweeps.spec import SweepSpec
+from repro.telemetry import (
+    TRACE_FORMATS,
+    TelemetryRecorder,
+    read_trace_jsonl,
+    render_trace_report,
+    use_recorder,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.utils.logsetup import configure_cli_logging
 from repro.utils.validation import ValidationError
 from repro.workload.enterprise import EnterpriseConfig
 
@@ -59,6 +76,39 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk population cache"
+    )
+
+
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    """Logging and tracing flags shared by every leaf subcommand.
+
+    Attached per-subparser (not on the root) so they work in the natural
+    position after the subcommand: ``repro sweep run demo --trace t.jsonl``.
+    """
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log run milestones (-v: INFO, -vv: DEBUG cache/optimizer detail)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="errors only: suppress progress output and non-error logs",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record telemetry (spans + counters) for this invocation to PATH",
+    )
+    parser.add_argument(
+        "--trace-format",
+        default="jsonl",
+        choices=TRACE_FORMATS,
+        help="trace file format: jsonl (repro trace report) or chrome (Perfetto)",
     )
 
 
@@ -134,8 +184,19 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             f"(pass --rerun to re-evaluate them)"
         )
     print(run.summary())
+    print(_cache_effectiveness_line(run.populations_from_cache, run.populations_generated))
     print(f"results appended to {store_path} (run id {run_id})")
     return 0
+
+
+def _cache_effectiveness_line(hits: int, misses: int) -> str:
+    """One-line engine-cache summary (``hits``/``misses``/ratio)."""
+    requests = hits + misses
+    ratio = (hits / requests) if requests else 0.0
+    return (
+        f"engine cache: {hits} hit(s), {misses} miss(es) "
+        f"({ratio:.0%} hit ratio over {requests} request(s))"
+    )
 
 
 def _store_records(store: ResultStore):
@@ -176,6 +237,12 @@ def _cmd_sweep_report(args: argparse.Namespace) -> int:
         return 0
     metrics = args.metrics if args.metrics else list(HEADLINE_METRICS)
     print(comparison_table(records, metrics=metrics))
+    # Per-scenario timing records carry population provenance: surface how
+    # effective the engine cache / population dedup was across the store.
+    timed = [record for record in records if "population_reused" in record.timing]
+    if timed:
+        reused = sum(1 for record in timed if record.timing["population_reused"])
+        print(_cache_effectiveness_line(reused, len(timed) - reused))
     return 0
 
 
@@ -284,6 +351,32 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    """Render the per-span summary tree of a recorded JSONL trace."""
+    path = Path(args.trace_file)
+    if not path.is_file():
+        print(f"error: trace file not found: {path}", file=sys.stderr)
+        return 1
+    snapshot = read_trace_jsonl(path)
+    print(render_trace_report(snapshot, max_depth=args.max_depth))
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    """Convert a JSONL trace to Chrome ``trace_event`` JSON (Perfetto)."""
+    path = Path(args.trace_file)
+    if not path.is_file():
+        print(f"error: trace file not found: {path}", file=sys.stderr)
+        return 1
+    snapshot = read_trace_jsonl(path)
+    destination = write_chrome_trace(snapshot, args.output)
+    print(
+        f"chrome trace written to {destination} "
+        f"(open in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs and tests)."""
     parser = argparse.ArgumentParser(
@@ -303,7 +396,6 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--hosts", type=int, default=None, help="override base population size")
     run.add_argument("--weeks", type=int, default=None, help="override base population weeks")
     run.add_argument("--seed", type=int, default=None, help="override base population seed")
-    run.add_argument("--quiet", action="store_true", help="suppress per-scenario progress")
     run.add_argument(
         "--rerun",
         action="store_true",
@@ -311,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(by default they are skipped)",
     )
     _add_engine_flags(run)
+    _add_output_flags(run)
     run.set_defaults(handler=_cmd_sweep_run)
 
     report = sweep_sub.add_parser("report", help="compare scenarios stored in a JSONL store")
@@ -338,9 +431,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(AGGREGATIONS),
         help="aggregation used in --pivot mode",
     )
+    _add_output_flags(report)
     report.set_defaults(handler=_cmd_sweep_report)
 
     listing = sweep_sub.add_parser("list", help="show the packaged scenario library")
+    _add_output_flags(listing)
     listing.set_defaults(handler=_cmd_sweep_list)
 
     timeline = subcommands.add_parser(
@@ -358,11 +453,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="only show scenarios whose name contains this substring",
     )
+    _add_output_flags(timeline)
     timeline.set_defaults(handler=_cmd_timeline)
 
     from repro.loadgen.cli import add_loadgen_parser
 
-    add_loadgen_parser(subcommands, _add_engine_flags)
+    add_loadgen_parser(subcommands, _add_engine_flags, _add_output_flags)
 
     experiments = subcommands.add_parser(
         "experiments",
@@ -376,17 +472,71 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--weeks", type=int, default=None, help="weeks of traffic")
     experiments.add_argument("--seed", type=int, default=None, help="generation seed")
     _add_engine_flags(experiments)
+    _add_output_flags(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
 
+    trace = subcommands.add_parser(
+        "trace", help="inspect and convert recorded telemetry traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_report = trace_sub.add_parser(
+        "report", help="per-span count/total/self/p50/p95 summary of a JSONL trace"
+    )
+    trace_report.add_argument(
+        "trace_file", help="JSONL trace recorded with `repro ... --trace PATH`"
+    )
+    trace_report.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="collapse the span tree below this depth (default: show all)",
+    )
+    _add_output_flags(trace_report)
+    trace_report.set_defaults(handler=_cmd_trace_report)
+
+    trace_convert = trace_sub.add_parser(
+        "convert",
+        help="convert a JSONL trace to Chrome trace_event JSON (Perfetto)",
+    )
+    trace_convert.add_argument(
+        "trace_file", help="JSONL trace recorded with `repro ... --trace PATH`"
+    )
+    trace_convert.add_argument("output", help="destination for the Chrome trace JSON")
+    _add_output_flags(trace_convert)
+    trace_convert.set_defaults(handler=_cmd_trace_convert)
+
     return parser
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected handler, recording telemetry when ``--trace`` asks.
+
+    The trace is exported even when the handler raises, so a failing run
+    still leaves its partial span log behind for diagnosis.
+    """
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.handler(args)
+    recorder = TelemetryRecorder()
+    trace_format = getattr(args, "trace_format", "jsonl")
+    try:
+        with use_recorder(recorder):
+            return args.handler(args)
+    finally:
+        destination = write_trace(recorder, trace_path, trace_format)
+        print(f"trace written to {destination} ({trace_format})")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Console-script entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_cli_logging(
+        verbose=getattr(args, "verbose", 0), quiet=getattr(args, "quiet", False)
+    )
     try:
-        return args.handler(args)
+        return _dispatch(args)
     except ValidationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -20,6 +20,7 @@ stored results:
 
 from __future__ import annotations
 
+import logging
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -31,8 +32,12 @@ from repro.core.experiment import ScenarioOutcome, evaluate_scenario
 from repro.engine import EngineStats, PopulationEngine, population_cache_key
 from repro.sweeps.results import ResultStore, ScenarioRecord
 from repro.sweeps.spec import ScenarioSpec, SweepSpec, scenario_spec_hash
+from repro.telemetry import add_count, child_recorder, get_recorder, trace_span
+from repro.utils.deprecation import warn_deprecated
 from repro.utils.validation import require
 from repro.workload.enterprise import EnterprisePopulation
+
+logger = logging.getLogger(__name__)
 
 #: Progress callback: (completed count, total count, the finished result).
 ProgressCallback = Callable[[int, int, "ScenarioResult"], None]
@@ -133,18 +138,23 @@ def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> Scenar
 
 def _evaluate_scenario_task(
     payload: Dict[str, Any], cache_dir: Optional[str]
-) -> Tuple[Dict[str, Any], float]:
+) -> Tuple[Dict[str, Any], float, Dict[str, Any]]:
     """Worker entry point: reload the shared population, evaluate, return.
 
     The parent generated every distinct population before fanning out, so the
     worker's engine finds it in the on-disk cache and never regenerates.
+    Returns the outcome payload, the wall-clock duration, and the worker's
+    telemetry snapshot (merged into the parent recorder when tracing).
     """
     started = time.perf_counter()
     spec = ScenarioSpec.from_dict(payload)
-    engine = PopulationEngine(workers=1, cache_dir=cache_dir)
-    population = engine.generate(spec.population.to_config())
-    outcome = run_scenario(spec, population)
-    return outcome.to_dict(), time.perf_counter() - started
+    with child_recorder() as recorder:
+        with trace_span("sweeps.scenario", scenario=spec.name):
+            engine = PopulationEngine(workers=1, cache_dir=cache_dir)
+            population = engine.generate(spec.population.to_config())
+            outcome = run_scenario(spec, population)
+            add_count("sweeps.scenarios_evaluated")
+    return outcome.to_dict(), time.perf_counter() - started, recorder.snapshot()
 
 
 @dataclass(frozen=True)
@@ -269,17 +279,27 @@ class SweepRunner:
         ``skip_existing=False`` (the CLI's ``--rerun``) to force
         re-evaluation.
 
-        ``timing`` is a per-scenario instrumentation hook: it receives every
-        :class:`ScenarioResult` the moment it finishes (after the store
-        append, before ``progress``), letting callers such as the
-        load-generation orchestrator collect per-scenario latency samples
-        without re-deriving them from stored records.
+        ``timing`` is the deprecated per-scenario instrumentation hook: it
+        still receives every :class:`ScenarioResult` the moment it finishes
+        (after the store append, before ``progress``), but new callers should
+        subscribe to ``sweeps.scenario`` span ends on a telemetry recorder
+        (see :mod:`repro.telemetry`) instead — that is where the load
+        orchestrator now gets its latency samples.  Passing it emits a
+        :class:`~repro.utils.deprecation.ReproDeprecationWarning`.
         """
+        if timing is not None:
+            warn_deprecated(
+                "SweepRunner.run(timing=...) is deprecated; subscribe to "
+                "'sweeps.scenario' span ends on a telemetry recorder instead "
+                "(see repro.telemetry)"
+            )
         started = time.perf_counter()
         scenarios = list(scenarios) if scenarios is not None else sweep.expand()
         skipped: Tuple[str, ...] = ()
         if store is not None and skip_existing:
             scenarios, skipped = self._partition_cached(scenarios, store)
+        if skipped:
+            add_count("sweeps.scenarios_skipped", len(skipped))
         stats_before = self._engine.stats
 
         def on_finished(completed: int, total: int, result: ScenarioResult) -> None:
@@ -290,11 +310,29 @@ class SweepRunner:
             if progress is not None:
                 progress(completed, total, result)
 
-        populations, first_use = self._generate_distinct_populations(scenarios)
-        results = self._evaluate(scenarios, populations, first_use, on_finished)
+        with trace_span(
+            "sweeps.run", sweep=sweep.name, num_scenarios=len(scenarios)
+        ) as run_span:
+            logger.info(
+                "sweep %r: %d scenario(s) to evaluate (%d skipped)",
+                sweep.name,
+                len(scenarios),
+                len(skipped),
+            )
+            with trace_span("sweeps.populations"):
+                populations, first_use = self._generate_distinct_populations(scenarios)
+            run_span.set(distinct_populations=len(populations))
+            results = self._evaluate(scenarios, populations, first_use, on_finished)
 
         stats_delta_generations = self._engine.stats.generations - stats_before.generations
         stats_delta_hits = self._engine.stats.cache_hits - stats_before.cache_hits
+        logger.info(
+            "sweep %r finished: %d result(s), %d population(s) generated, %d from cache",
+            sweep.name,
+            len(results),
+            stats_delta_generations,
+            stats_delta_hits,
+        )
         return SweepRunResult(
             sweep=sweep,
             results=tuple(results),
@@ -380,12 +418,21 @@ class SweepRunner:
         results: List[ScenarioResult] = []
         for index, scenario in enumerate(scenarios):
             scenario_started = time.perf_counter()
-            population = populations[population_cache_key(scenario.population.to_config())]
-            outcome = run_scenario(scenario, population)
+            with trace_span("sweeps.scenario", scenario=scenario.name) as span:
+                population = populations[
+                    population_cache_key(scenario.population.to_config())
+                ]
+                outcome = run_scenario(scenario, population)
+                add_count("sweeps.scenarios_evaluated")
+            duration = (
+                span.duration
+                if span.duration is not None
+                else time.perf_counter() - scenario_started
+            )
             result = ScenarioResult(
                 scenario=scenario,
                 outcome=outcome,
-                duration_seconds=time.perf_counter() - scenario_started,
+                duration_seconds=duration,
                 population_reused=reused[index],
             )
             results.append(result)
@@ -401,6 +448,7 @@ class SweepRunner:
         total: int,
     ) -> List[ScenarioResult]:
         cache_dir = str(self._engine.cache.directory)
+        recorder = get_recorder()
         results: List[ScenarioResult] = []
         try:
             with ProcessPoolExecutor(max_workers=self._workers) as executor:
@@ -409,7 +457,9 @@ class SweepRunner:
                     for scenario in scenarios
                 ]
                 for index, (scenario, future) in enumerate(zip(scenarios, futures)):
-                    outcome_payload, duration = future.result()
+                    outcome_payload, duration, telemetry = future.result()
+                    if recorder.enabled:
+                        recorder.merge(telemetry)
                     result = ScenarioResult(
                         scenario=scenario,
                         outcome=ScenarioOutcome.from_dict(outcome_payload),

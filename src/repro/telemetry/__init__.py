@@ -1,0 +1,65 @@
+"""Unified run telemetry: span tracing, counters/gauges, and trace export.
+
+Instrumented modules call the free functions (:func:`trace_span`,
+:func:`add_count`, :func:`set_gauge`); by default they hit the
+:data:`NULL_RECORDER` and cost almost nothing.  The CLI installs a
+:class:`TelemetryRecorder` with :func:`use_recorder` when ``--trace`` is
+passed, then exports via :func:`write_trace` and summarises with
+:func:`render_trace_report`.
+"""
+
+from repro.telemetry.export import (
+    TRACE_FORMATS,
+    chrome_trace,
+    read_trace_jsonl,
+    write_chrome_trace,
+    write_trace,
+    write_trace_jsonl,
+)
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    NULL_SPAN,
+    TRACE_FORMAT_VERSION,
+    NullRecorder,
+    SpanRecord,
+    TelemetryRecorder,
+    add_count,
+    child_recorder,
+    get_recorder,
+    set_gauge,
+    trace_span,
+    use_recorder,
+    worker_process_label,
+)
+from repro.telemetry.report import (
+    SpanSummary,
+    render_trace_report,
+    summarize_spans,
+    wall_clock_coverage,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "NULL_SPAN",
+    "TRACE_FORMATS",
+    "TRACE_FORMAT_VERSION",
+    "NullRecorder",
+    "SpanRecord",
+    "SpanSummary",
+    "TelemetryRecorder",
+    "add_count",
+    "child_recorder",
+    "chrome_trace",
+    "get_recorder",
+    "read_trace_jsonl",
+    "render_trace_report",
+    "set_gauge",
+    "summarize_spans",
+    "trace_span",
+    "use_recorder",
+    "wall_clock_coverage",
+    "worker_process_label",
+    "write_chrome_trace",
+    "write_trace",
+    "write_trace_jsonl",
+]

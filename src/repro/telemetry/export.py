@@ -1,0 +1,193 @@
+"""Trace exporters: structured JSONL event logs and Chrome ``trace_event`` JSON.
+
+Two on-disk formats, both derived from a recorder snapshot
+(:meth:`~repro.telemetry.recorder.TelemetryRecorder.snapshot`):
+
+* **JSONL** (:func:`write_trace_jsonl` / :func:`read_trace_jsonl`) — one JSON
+  object per line (``meta``, ``counter``, ``gauge``, ``span``), append-friendly
+  and greppable; what ``repro trace report`` and
+  ``scripts/ci_checks/check_trace.py`` consume.
+* **Chrome trace_event** (:func:`chrome_trace` / :func:`write_chrome_trace`) —
+  the ``{"traceEvents": [...]}`` JSON Object Format understood by Perfetto and
+  ``chrome://tracing``: one complete (``"ph": "X"``) event per span with
+  microsecond timestamps normalised per process, metadata (``"M"``) events
+  naming each process, and one counter (``"C"``) event per counter.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+from repro.telemetry.recorder import TRACE_FORMAT_VERSION, SpanRecord
+from repro.utils.validation import ValidationError, require
+
+PathLike = Union[str, Path]
+
+#: Recognised ``--trace-format`` values.
+TRACE_FORMATS = ("jsonl", "chrome")
+
+
+def _snapshot_of(source: Union[Mapping[str, Any], Any]) -> Mapping[str, Any]:
+    """Accept either a recorder or an already built snapshot mapping."""
+    if hasattr(source, "snapshot"):
+        return source.snapshot()
+    return source
+
+
+# ------------------------------------------------------------------- JSONL
+def write_trace_jsonl(source: Union[Mapping[str, Any], Any], path: PathLike) -> Path:
+    """Write a snapshot (or recorder) as a JSONL event log; returns the path."""
+    snapshot = _snapshot_of(source)
+    destination = Path(path)
+    lines: List[str] = [
+        json.dumps(
+            {
+                "type": "meta",
+                "version": snapshot.get("version", TRACE_FORMAT_VERSION),
+                "process": snapshot.get("process", "main"),
+            },
+            sort_keys=True,
+        )
+    ]
+    for name in sorted(snapshot.get("counters", {})):
+        lines.append(
+            json.dumps(
+                {"type": "counter", "name": name, "value": snapshot["counters"][name]},
+                sort_keys=True,
+            )
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        lines.append(
+            json.dumps(
+                {"type": "gauge", "name": name, "value": snapshot["gauges"][name]},
+                sort_keys=True,
+            )
+        )
+    for span in snapshot.get("spans", ()):
+        lines.append(json.dumps({"type": "span", **span}, sort_keys=True))
+    destination.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return destination
+
+
+def read_trace_jsonl(path: PathLike) -> Dict[str, Any]:
+    """Parse a JSONL event log back into a snapshot mapping."""
+    source = Path(path)
+    snapshot: Dict[str, Any] = {
+        "version": TRACE_FORMAT_VERSION,
+        "process": "main",
+        "spans": [],
+        "counters": {},
+        "gauges": {},
+    }
+    for index, line in enumerate(source.read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValidationError(f"{source}:{index}: not JSON: {error}") from None
+        kind = payload.get("type")
+        if kind == "meta":
+            snapshot["version"] = payload.get("version", TRACE_FORMAT_VERSION)
+            snapshot["process"] = payload.get("process", "main")
+        elif kind == "counter":
+            snapshot["counters"][payload["name"]] = payload["value"]
+        elif kind == "gauge":
+            snapshot["gauges"][payload["name"]] = payload["value"]
+        elif kind == "span":
+            span = {key: value for key, value in payload.items() if key != "type"}
+            snapshot["spans"].append(span)
+        else:
+            raise ValidationError(f"{source}:{index}: unknown trace line type {kind!r}")
+    return snapshot
+
+
+# ------------------------------------------------------- Chrome trace_event
+def chrome_trace(source: Union[Mapping[str, Any], Any]) -> Dict[str, Any]:
+    """A Chrome/Perfetto ``trace_event`` payload for a snapshot (or recorder).
+
+    Timestamps are normalised per process (each process' earliest span start
+    becomes ``ts == 0``), because worker clocks share no origin with the
+    parent's.  Span attributes land in ``args``.
+    """
+    snapshot = _snapshot_of(source)
+    spans = [SpanRecord.from_dict(payload) for payload in snapshot.get("spans", ())]
+    processes: List[str] = []
+    for span in spans:
+        if span.process not in processes:
+            processes.append(span.process)
+    pid_of = {process: pid for pid, process in enumerate(processes, start=1)}
+    origin_of = {
+        process: min(span.start for span in spans if span.process == process)
+        for process in processes
+    }
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid_of[process],
+            "tid": 0,
+            "args": {"name": f"repro/{process}"},
+        }
+        for process in processes
+    ]
+    last_ts = 0.0
+    for span in spans:
+        ts = (span.start - origin_of[span.process]) * 1e6
+        duration = span.duration * 1e6
+        last_ts = max(last_ts, ts + duration)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": ts,
+                "dur": duration,
+                "pid": pid_of[span.process],
+                "tid": 1,
+                "args": dict(span.attributes),
+            }
+        )
+    for name in sorted(snapshot.get("counters", {})):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": last_ts,
+                "pid": 1,
+                "tid": 1,
+                "args": {name: snapshot["counters"][name]},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format_version": snapshot.get("version", TRACE_FORMAT_VERSION),
+            "gauges": dict(snapshot.get("gauges", {})),
+        },
+    }
+
+
+def write_chrome_trace(source: Union[Mapping[str, Any], Any], path: PathLike) -> Path:
+    """Write the Chrome ``trace_event`` JSON for a snapshot; returns the path."""
+    destination = Path(path)
+    destination.write_text(
+        json.dumps(chrome_trace(source), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return destination
+
+
+def write_trace(
+    source: Union[Mapping[str, Any], Any], path: PathLike, trace_format: str = "jsonl"
+) -> Path:
+    """Write a trace in ``trace_format`` (the CLI's ``--trace-format`` values)."""
+    require(
+        trace_format in TRACE_FORMATS,
+        f"unknown trace format {trace_format!r}; expected one of {TRACE_FORMATS}",
+    )
+    if trace_format == "chrome":
+        return write_chrome_trace(source, path)
+    return write_trace_jsonl(source, path)

@@ -19,6 +19,7 @@ bit-identical to :func:`~repro.core.experiment.evaluate_scenario`.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
@@ -37,6 +38,7 @@ from repro.core.experiment import ScenarioOutcome, summarize_scenario
 from repro.core.policies import ConfigurationPolicy
 from repro.features.timeseries import FeatureMatrix
 from repro.temporal.schedule import RetrainSchedule
+from repro.telemetry import add_count, trace_span
 from repro.temporal.statistic import (
     drift_from_baseline,
     pooled_baseline_quantiles,
@@ -44,6 +46,8 @@ from repro.temporal.statistic import (
 )
 from repro.utils.validation import require
 from repro.workload.enterprise import EnterprisePopulation
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -224,84 +228,112 @@ def evaluate_timeline(
     features = protocol.features
     tracks_schedule = bool(getattr(attack_builder, "tracks_schedule", False))
 
-    training_cost = 0.0
-    started = time.perf_counter()
-    window = _initial_window(protocol, schedule)
-    training = detection_training_window_distributions(
-        matrices, features, window[0], window[1],
-        active_bins_only=protocol.train_on_active_bins,
+    timeline_span = trace_span(
+        "temporal.timeline",
+        policy=policy.name,
+        schedule=schedule.name,
+        first_week=first_week,
+        last_week=last_week,
     )
-    assignment = policy.assign(
-        training,
-        grouping_statistic_percentile=protocol.grouping_statistic_percentile,
-        fusion=protocol.fusion,
-    )
-    training_cost += time.perf_counter() - started
-    initial_assignment = assignment
-    deployed_week = first_week
-    # The pooled baseline only changes on retrain, so compute it once per
-    # deployed configuration — and not at all for schedules that never
-    # consult the drift statistic.
-    baseline = (
-        pooled_baseline_quantiles(matrices, features, window)
-        if schedule.needs_drift_statistic
-        else None
-    )
+    with timeline_span:
+        training_cost = 0.0
+        started = time.perf_counter()
+        window = _initial_window(protocol, schedule)
+        with trace_span("temporal.train", window_start=window[0], window_end=window[1]):
+            training = detection_training_window_distributions(
+                matrices, features, window[0], window[1],
+                active_bins_only=protocol.train_on_active_bins,
+            )
+            assignment = policy.assign(
+                training,
+                grouping_statistic_percentile=protocol.grouping_statistic_percentile,
+                fusion=protocol.fusion,
+            )
+        training_cost += time.perf_counter() - started
+        initial_assignment = assignment
+        deployed_week = first_week
+        logger.info(
+            "timeline start: policy %s, schedule %s, weeks %d..%d",
+            policy.name,
+            schedule.name,
+            first_week,
+            last_week - 1,
+        )
+        # The pooled baseline only changes on retrain, so compute it once per
+        # deployed configuration — and not at all for schedules that never
+        # consult the drift statistic.
+        baseline = (
+            pooled_baseline_quantiles(matrices, features, window)
+            if schedule.needs_drift_statistic
+            else None
+        )
 
-    weeks: List[TimelineWeek] = []
-    retrain_weeks: List[int] = []
-    for week in range(first_week, last_week):
-        drift_value: Optional[float] = None
-        if week > first_week:
-            if baseline is not None:
-                # Compare the deployed configuration's training window
-                # against the last *completed* week — the defender never
-                # peeks at the week it is about to score.
-                drift_value = drift_from_baseline(matrices, baseline, week - 1)
-            if schedule.should_retrain(week, deployed_week, drift_value):
-                started = time.perf_counter()
-                window = (max(0, week - schedule.window_weeks), week)
-                training = detection_training_window_distributions(
-                    matrices, features, window[0], window[1],
-                    active_bins_only=protocol.train_on_active_bins,
-                )
-                assignment = policy.assign(
-                    training,
-                    grouping_statistic_percentile=protocol.grouping_statistic_percentile,
-                    fusion=protocol.fusion,
-                    warm_start=assignment,
-                )
-                training_cost += time.perf_counter() - started
-                deployed_week = week
-                retrain_weeks.append(week)
-                if baseline is not None:
-                    baseline = pooled_baseline_quantiles(matrices, features, window)
+        weeks: List[TimelineWeek] = []
+        retrain_weeks: List[int] = []
+        for week in range(first_week, last_week):
+            with trace_span("temporal.week", week=week) as week_span:
+                drift_value: Optional[float] = None
+                if week > first_week:
+                    if baseline is not None:
+                        # Compare the deployed configuration's training window
+                        # against the last *completed* week — the defender never
+                        # peeks at the week it is about to score.
+                        drift_value = drift_from_baseline(matrices, baseline, week - 1)
+                    if schedule.should_retrain(week, deployed_week, drift_value):
+                        started = time.perf_counter()
+                        window = (max(0, week - schedule.window_weeks), week)
+                        with trace_span("temporal.retrain", week=week):
+                            training = detection_training_window_distributions(
+                                matrices, features, window[0], window[1],
+                                active_bins_only=protocol.train_on_active_bins,
+                            )
+                            assignment = policy.assign(
+                                training,
+                                grouping_statistic_percentile=(
+                                    protocol.grouping_statistic_percentile
+                                ),
+                                fusion=protocol.fusion,
+                                warm_start=assignment,
+                            )
+                        training_cost += time.perf_counter() - started
+                        deployed_week = week
+                        retrain_weeks.append(week)
+                        add_count("temporal.retrains")
+                        logger.info(
+                            "retrained on week %d (drift statistic %s)",
+                            week,
+                            "n/a" if drift_value is None else f"{drift_value:.4f}",
+                        )
+                        if baseline is not None:
+                            baseline = pooled_baseline_quantiles(matrices, features, window)
 
-        week_protocol = replace(protocol, train_week=window[1] - 1, test_week=week)
-        performances = measure_assignment(
-            matrices,
-            assignment,
-            week_protocol,
-            attack_builder=attack_builder,
-            attack_assignment=None if tracks_schedule else initial_assignment,
-        )
-        evaluation = PolicyEvaluation(
-            policy_name=policy.name,
-            protocol=week_protocol,
-            assignment=assignment,
-            performances=performances,
-        )
-        entry = TimelineWeek(
-            week=week,
-            trained_weeks=window,
-            deployed_week=deployed_week,
-            retrained=bool(retrain_weeks and retrain_weeks[-1] == week),
-            drift_statistic=drift_value,
-            evaluation=evaluation,
-        )
-        weeks.append(entry)
-        if week_hook is not None:
-            week_hook(entry)
+                week_protocol = replace(protocol, train_week=window[1] - 1, test_week=week)
+                performances = measure_assignment(
+                    matrices,
+                    assignment,
+                    week_protocol,
+                    attack_builder=attack_builder,
+                    attack_assignment=None if tracks_schedule else initial_assignment,
+                )
+                evaluation = PolicyEvaluation(
+                    policy_name=policy.name,
+                    protocol=week_protocol,
+                    assignment=assignment,
+                    performances=performances,
+                )
+                entry = TimelineWeek(
+                    week=week,
+                    trained_weeks=window,
+                    deployed_week=deployed_week,
+                    retrained=bool(retrain_weeks and retrain_weeks[-1] == week),
+                    drift_statistic=drift_value,
+                    evaluation=evaluation,
+                )
+                week_span.set(retrained=entry.retrained)
+                add_count("temporal.weeks_measured")
+                weeks.append(entry)
+                if week_hook is not None:
+                    week_hook(entry)
 
     return TimelineResult(
         policy_name=policy.name,

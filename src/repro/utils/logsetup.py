@@ -1,0 +1,61 @@
+"""CLI logging configuration for the ``repro`` package loggers.
+
+Every module under :mod:`repro` logs through a module-level
+``logging.getLogger(__name__)``; this helper wires the package root logger
+(``repro``) to stderr at the verbosity the CLI flags request.  Library use
+is unaffected: without a call to :func:`configure_cli_logging` the package
+emits nothing beyond the stdlib's last-resort handler for warnings.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Optional
+
+#: Marker attribute identifying the handler this module installed.
+_HANDLER_MARK = "_repro_cli_handler"
+
+
+def configure_cli_logging(
+    verbose: int = 0, quiet: bool = False, stream: Optional[Any] = None
+) -> logging.Logger:
+    """Configure the ``repro`` package logger for a CLI invocation.
+
+    ``verbose`` counts ``-v`` occurrences: 0 → WARNING (milestones are
+    silent), 1 → INFO (run milestones), 2+ → DEBUG (cache and optimizer
+    detail).  ``quiet`` (``-q``) wins and raises the bar to ERROR.
+    Idempotent: repeated calls reconfigure the level without stacking
+    handlers (tests call :func:`repro.sweeps.cli.main` many times in one
+    process).
+    """
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_MARK, False):
+            # Swap without setStream(): that would flush the old stream,
+            # which a test harness (capsys) may already have closed.
+            handler.acquire()
+            try:
+                handler.stream = stream if stream is not None else sys.stderr
+            finally:
+                handler.release()
+            break
+    else:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        setattr(handler, _HANDLER_MARK, True)
+        logger.addHandler(handler)
+    return logger
+
+
+__all__ = ["configure_cli_logging"]

@@ -297,3 +297,95 @@ class TestCheckResultCache:
         assert check_result_cache.main([str(out)]) == 0
         assert check_result_cache.main([str(out), "--expect-skipped", "12"]) == 1
         assert check_result_cache.main([str(tmp_path / "nope.txt")]) == 2
+
+
+# --------------------------------------------------------------- check_trace
+check_trace = load_script("ci_checks/check_trace.py")
+
+
+def trace_lines(tmp_path, spans=None, counters=None):
+    """Write a minimal JSONL trace and return its path."""
+    lines = [{"type": "meta", "version": 1, "process": "main"}]
+    for name, value in (counters or {}).items():
+        lines.append({"type": "counter", "name": name, "value": value})
+    for span in spans or []:
+        lines.append({"type": "span", **span})
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    return path
+
+
+def span(span_id, name, parent=None, start=0.0, end=1.0):
+    return {
+        "id": span_id,
+        "parent": parent,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attributes": {},
+        "process": "main",
+    }
+
+
+def good_trace():
+    return {
+        "spans": [
+            span(1, "sweeps.run"),
+            span(2, "sweeps.scenario", parent=1, start=0.1, end=0.9),
+        ],
+        "counters": {
+            "sweeps.scenarios_evaluated": 1,
+            "core.host_weeks_measured": 24,
+            "engine.hosts_generated": 12,
+        },
+    }
+
+
+class TestCheckTrace:
+    def test_expected_roots_and_counters_pass(self):
+        trace = good_trace()
+        assert (
+            check_trace.check(
+                trace,
+                root_spans=check_trace.DEFAULT_ROOT_SPANS,
+                counters=check_trace.DEFAULT_COUNTERS,
+            )
+            == []
+        )
+
+    def test_missing_root_span_fails(self):
+        trace = good_trace()
+        errors = check_trace.check(trace, root_spans=["loadgen.run"], counters=[])
+        assert any("root span 'loadgen.run' missing" in error for error in errors)
+
+    def test_zero_counter_and_missing_counter_fail(self):
+        trace = good_trace()
+        trace["counters"]["sweeps.scenarios_evaluated"] = 0
+        errors = check_trace.check(
+            trace,
+            root_spans=[],
+            counters=["sweeps.scenarios_evaluated", "optimize.iterations"],
+        )
+        assert any("expected > 0" in error for error in errors)
+        assert any("'optimize.iterations' missing" in error for error in errors)
+
+    def test_malformed_spans_fail(self):
+        trace = good_trace()
+        trace["spans"].append(span(3, "core.evaluate", parent=99, start=2.0, end=1.0))
+        errors = check_trace.check(trace, root_spans=[], counters=[])
+        assert any("negative duration" in error for error in errors)
+        assert any("dangling parent id 99" in error for error in errors)
+
+    def test_empty_trace_fails(self):
+        errors = check_trace.check(
+            {"spans": [], "counters": {}}, root_spans=[], counters=[]
+        )
+        assert any("no spans" in error for error in errors)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = good_trace()
+        path = trace_lines(tmp_path, spans=good["spans"], counters=good["counters"])
+        assert check_trace.main([str(path)]) == 0
+        assert "expected roots and workload counters present" in capsys.readouterr().out
+        assert check_trace.main([str(path), "--counter", "temporal.retrains"]) == 1
+        assert check_trace.main([str(tmp_path / "nope.jsonl")]) == 2
