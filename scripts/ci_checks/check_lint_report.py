@@ -1,0 +1,126 @@
+"""CI check: the `repro lint` JSON report is well-formed and clean.
+
+Validates the artifact the ``lint-invariants`` job uploads: the report schema
+version is supported, the counts are consistent with the findings array,
+there are zero unsuppressed violations, and every suppressed finding carries
+a written reason (an undocumented suppression is a policy failure even when
+the engine let it through).
+
+Usage::
+
+    python scripts/ci_checks/check_lint_report.py lint-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Highest report schema this validator understands.
+SUPPORTED_REPORT_SCHEMA = 1
+
+#: Keys every report must carry, with their required types.
+REQUIRED_KEYS = {
+    "schema": int,
+    "root": str,
+    "files_scanned": int,
+    "rules": list,
+    "violation_count": int,
+    "suppressed_count": int,
+    "findings": list,
+    "ok": bool,
+}
+
+#: Keys every finding entry must carry.
+FINDING_KEYS = ("rule", "path", "line", "column", "message", "suppressed")
+
+
+def check(report: Dict[str, Any]) -> List[str]:
+    """Every violated expectation, as human-readable messages."""
+    errors: List[str] = []
+    for key, expected_type in REQUIRED_KEYS.items():
+        if key not in report:
+            errors.append(f"report is missing required key {key!r}")
+        elif not isinstance(report[key], expected_type):
+            errors.append(
+                f"report key {key!r} is {type(report[key]).__name__}, "
+                f"expected {expected_type.__name__}"
+            )
+    if errors:
+        return errors
+    if report["schema"] > SUPPORTED_REPORT_SCHEMA:
+        errors.append(
+            f"report schema {report['schema']} is newer than supported "
+            f"{SUPPORTED_REPORT_SCHEMA}"
+        )
+        return errors
+    findings = report["findings"]
+    for index, finding in enumerate(findings):
+        label = f"finding #{index}"
+        if not isinstance(finding, dict):
+            errors.append(f"{label} is not an object")
+            continue
+        for key in FINDING_KEYS:
+            if key not in finding:
+                errors.append(f"{label} is missing {key!r}")
+        if finding.get("suppressed") and not str(
+            finding.get("suppression_reason", "")
+        ).strip():
+            errors.append(
+                f"{label} ({finding.get('rule')} at {finding.get('path')}:"
+                f"{finding.get('line')}) is suppressed without a written reason"
+            )
+    violations = [f for f in findings if isinstance(f, dict) and not f.get("suppressed")]
+    suppressed = [f for f in findings if isinstance(f, dict) and f.get("suppressed")]
+    if len(violations) != report["violation_count"]:
+        errors.append(
+            f"violation_count is {report['violation_count']} but the findings "
+            f"array holds {len(violations)} unsuppressed finding(s)"
+        )
+    if len(suppressed) != report["suppressed_count"]:
+        errors.append(
+            f"suppressed_count is {report['suppressed_count']} but the findings "
+            f"array holds {len(suppressed)} suppressed finding(s)"
+        )
+    if report["ok"] is not (len(violations) == 0):
+        errors.append(f"ok={report['ok']} disagrees with {len(violations)} violation(s)")
+    for finding in violations:
+        errors.append(
+            f"unsuppressed violation: {finding.get('rule')} at "
+            f"{finding.get('path')}:{finding.get('line')}: {finding.get('message')}"
+        )
+    if report["files_scanned"] <= 0:
+        errors.append("files_scanned is 0: the lint run analysed nothing")
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="JSON report from `repro lint --format json`")
+    args = parser.parse_args(argv)
+    try:
+        report = json.loads(Path(args.report).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_lint_report: error: {error!r}", file=sys.stderr)
+        return 2
+    if not isinstance(report, dict):
+        print("check_lint_report: error: report is not a JSON object", file=sys.stderr)
+        return 2
+    errors = check(report)
+    if errors:
+        for error in errors:
+            print(f"check_lint_report: FAIL: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {report['files_scanned']} file(s) scanned by "
+        f"{len(report['rules'])} rule(s); 0 violations, "
+        f"{report['suppressed_count']} documented suppression(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,214 @@
+"""``repro lint`` — run the determinism & invariant rule pack over a tree.
+
+Also installable as a pre-commit hook via the module entry point::
+
+    python -m repro.analysis [paths...] --format json --output lint.json
+    python -m repro.analysis --explain REP001
+
+Exit codes: 0 clean (documented suppressions do not fail), 1 unsuppressed
+findings, 2 usage/IO errors — the same contract as the other CI checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from repro.analysis.engine import LintEngine, LintResult
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import (
+    DEFAULT_BASELINE_PATH,
+    RULES,
+    compute_schema_baseline,
+)
+
+#: Report formats ``--format`` accepts.
+REPORT_FORMATS = ("text", "json")
+
+
+def default_lint_root() -> Path:
+    """Where ``repro lint`` looks when no path is given: ``src/`` if present.
+
+    Running from a repo checkout lints the package source; anywhere else the
+    current directory is the tree under analysis.
+    """
+    src = Path("src")
+    return src if src.is_dir() else Path(".")
+
+
+def explain(rule_id: str) -> str:
+    """The ``--explain`` text for one rule id (raises KeyError when unknown)."""
+    rule = RULES[rule_id]
+    return "\n".join(
+        [
+            f"{rule.id} — {rule.title}",
+            "",
+            rule.rationale,
+            "",
+            "Example violation:",
+            *(f"    {line}" for line in rule.example_violation.splitlines()),
+            "",
+            "Example fix:",
+            *(f"    {line}" for line in rule.example_fix.splitlines()),
+            "",
+            "Suppress a deliberate seam with a written reason:",
+            f"    # repro-lint: disable={rule.id} <why this site is sanctioned>",
+        ]
+    )
+
+
+def run_lint(
+    paths: List[Path], schema_baseline_path: Optional[Path] = None
+) -> LintResult:
+    """Lint every path and fold the results into one (multi-root) result."""
+    baseline = None
+    use_default = schema_baseline_path is None
+    if schema_baseline_path is not None:
+        baseline = json.loads(schema_baseline_path.read_text(encoding="utf-8"))
+    engine = LintEngine(schema_baseline=baseline, use_default_baseline=use_default)
+    results = [engine.run(path) for path in paths]
+    if len(results) == 1:
+        return results[0]
+    merged_inventory = {}
+    findings = []
+    for result in results:
+        findings.extend(result.findings)
+        merged_inventory.update(result.inventory)
+    return LintResult(
+        root=", ".join(str(path) for path in paths),
+        findings=findings,
+        files_scanned=sum(result.files_scanned for result in results),
+        rules=results[0].rules,
+        inventory=merged_inventory,
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.explain:
+        if args.explain not in RULES:
+            print(
+                f"error: unknown rule {args.explain!r} (rules: {', '.join(sorted(RULES))})",
+                file=sys.stderr,
+            )
+            return 2
+        print(explain(args.explain))
+        return 0
+
+    paths = [Path(p) for p in args.paths] if args.paths else [default_lint_root()]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+            return 2
+
+    if args.write_schema_baseline:
+        destination = (
+            Path(args.schema_baseline) if args.schema_baseline else DEFAULT_BASELINE_PATH
+        )
+        payload = compute_schema_baseline(paths[0])
+        if payload is None:
+            print(
+                f"error: {paths[0]} holds no ScenarioOutcome/ScenarioRecord "
+                "definitions to fingerprint",
+                file=sys.stderr,
+            )
+            return 2
+        destination.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(
+            f"schema baseline written to {destination} "
+            f"(RESULT_SCHEMA_VERSION {payload['result_schema_version']}, "
+            f"{len(payload['scenario_outcome_fields'])} outcome + "
+            f"{len(payload['scenario_record_fields'])} record fields)"
+        )
+        return 0
+
+    baseline_path = Path(args.schema_baseline) if args.schema_baseline else None
+    result = run_lint(paths, schema_baseline_path=baseline_path)
+    report = render_json(result) if args.format == "json" else render_text(result)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(f"lint report written to {args.output} ({args.format})")
+        if not args.quiet_report and result.violations:
+            print(render_text(result))
+    else:
+        print(report)
+    return 0 if result.ok else 1
+
+
+def _add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ when present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=REPORT_FORMATS,
+        help="report format (json is the CI artifact shape)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="REP00x",
+        help="print one rule's rationale and example violation/fix, then exit",
+    )
+    parser.add_argument(
+        "--schema-baseline",
+        default=None,
+        metavar="PATH",
+        help="REP004 baseline JSON (default: the packaged schema_baseline.json)",
+    )
+    parser.add_argument(
+        "--write-schema-baseline",
+        action="store_true",
+        help="regenerate the REP004 baseline from the analysed tree and exit "
+        "(run after a deliberate RESULT_SCHEMA_VERSION bump)",
+    )
+    parser.add_argument(
+        "--quiet-report",
+        action="store_true",
+        help="with --output: do not echo violations to stdout",
+    )
+    parser.set_defaults(handler=_cmd_lint)
+
+
+def add_lint_parser(
+    subcommands: argparse._SubParsersAction,
+    add_output_flags: Callable[[argparse.ArgumentParser], None],
+) -> None:
+    """Attach the ``repro lint`` subcommand to the main ``repro`` parser."""
+    lint = subcommands.add_parser(
+        "lint",
+        help="determinism & invariant lint (REP001-REP006) over a source tree",
+    )
+    _add_lint_arguments(lint)
+    add_output_flags(lint)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & invariant lint for the repro codebase (REP001-REP006).",
+    )
+    _add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["add_lint_parser", "default_lint_root", "explain", "main", "run_lint"]

@@ -150,7 +150,8 @@ def EvaluationProtocol(
     """
     warn_deprecated(
         "EvaluationProtocol is deprecated; use "
-        "DetectionProtocol(features=[...], fusion=FusionRule...) instead"
+        "DetectionProtocol(features=[...], fusion=FusionRule...) instead",
+        since="PR3",
     )
     return DetectionProtocol(
         features=(feature,),
@@ -707,5 +708,8 @@ def evaluate_policy_on_feature(
     :func:`evaluate_policy` (which accepts single- and multi-feature
     protocols alike).
     """
-    warn_deprecated("evaluate_policy_on_feature is deprecated; use evaluate_policy instead")
+    warn_deprecated(
+        "evaluate_policy_on_feature is deprecated; use evaluate_policy instead",
+        since="PR3",
+    )
     return evaluate_policy(matrices, policy, protocol, attack_builder=attack_builder)

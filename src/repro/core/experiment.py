@@ -231,7 +231,8 @@ def _aggregate_performances(
     fn = np.asarray(false_negative_rates, dtype=float)
     utilities = 1.0 - (weight * fn + (1.0 - weight) * fp)
     f_measures = [
-        f_measure_from_rates(fp_i, fn_i, attack_prevalence) for fp_i, fn_i in zip(fp, fn)
+        f_measure_from_rates(fp_i, fn_i, attack_prevalence)
+        for fp_i, fn_i in zip(fp, fn, strict=True)
     ]
     return {
         "mean_utility": float(np.mean(utilities)),

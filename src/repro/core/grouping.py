@@ -184,7 +184,7 @@ class KMeansGrouping(GroupingStrategy):
         log_values = np.log10(np.maximum(values, 1e-9))
         result = kmeans(log_values, k=k, seed=self.seed)
         groups: Dict[int, List[int]] = {}
-        for host, label in zip(hosts, result.labels):
+        for host, label in zip(hosts, result.labels, strict=True):
             groups.setdefault(int(label), []).append(host)
         return GroupAssignment(
             groups=tuple(tuple(members) for members in groups.values() if members),

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import logging
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
@@ -33,7 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, PopulationCache, resolve_cache_dir
 from repro.features.timeseries import FeatureMatrix
-from repro.telemetry import add_count, child_recorder, get_recorder, trace_span
+from repro.telemetry import add_count, child_recorder, get_recorder, monotonic_now, trace_span
 from repro.utils.rng import RandomSource
 from repro.utils.validation import ValidationError, require
 from repro.workload.enterprise import (
@@ -246,7 +245,7 @@ class PopulationEngine:
     ) -> EnterprisePopulation:
         """Return the population for ``config``, from cache when possible."""
         config = config if config is not None else EnterpriseConfig()
-        started = time.perf_counter()
+        started = monotonic_now()
 
         with trace_span(
             "engine.generate", num_hosts=config.num_hosts, num_weeks=config.num_weeks
@@ -256,7 +255,7 @@ class PopulationEngine:
                 if cached is not None:
                     span.set(cache_hit=True)
                     add_count("engine.cache.hits")
-                    duration = time.perf_counter() - started
+                    duration = monotonic_now() - started
                     self._last_report = GenerationReport(
                         num_hosts=len(cached),
                         workers=0,
@@ -289,7 +288,7 @@ class PopulationEngine:
             if self._cache is not None:
                 stored = self._cache.store(population, roles)
                 cache_path = str(stored) if stored is not None else None
-            duration = time.perf_counter() - started
+            duration = monotonic_now() - started
             self._last_report = GenerationReport(
                 num_hosts=len(population),
                 workers=workers,

@@ -67,7 +67,7 @@ class UtilityComparisonResult:
         """Full-diversity minus homogeneous average utility for every swept weight."""
         full = self.weight_sweep["full-diversity"]
         homo = self.weight_sweep["homogeneous"]
-        return [f - h for f, h in zip(full, homo)]
+        return [f - h for f, h in zip(full, homo, strict=True)]
 
     def render(self) -> str:
         """Text rendering of both panels."""

@@ -75,7 +75,7 @@ class StalenessStudyResult:
         )
         rows = []
         for (policy, schedule), report in self.reports.items():
-            by_week = dict(zip(report.weeks, report.utilities))
+            by_week = dict(zip(report.weeks, report.utilities, strict=True))
             slope = report.utility_decay_slope
             rows.append(
                 [policy, schedule]

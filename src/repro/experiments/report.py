@@ -13,10 +13,7 @@ from repro.utils.validation import require
 
 
 def _format_cell(value: object, width: int) -> str:
-    if isinstance(value, float):
-        text = f"{value:.4g}"
-    else:
-        text = str(value)
+    text = f"{value:.4g}" if isinstance(value, float) else str(value)
     return text.rjust(width)
 
 
@@ -34,10 +31,14 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append("  ".join("-" * w for w in widths))
     for row in rows:
-        lines.append("  ".join(_format_cell(value, width) for value, width in zip(row, widths)))
+        lines.append(
+            "  ".join(
+                _format_cell(value, width) for value, width in zip(row, widths, strict=True)
+            )
+        )
     return "\n".join(lines)
 
 

@@ -110,7 +110,7 @@ def kmeans(
 
     labels = np.zeros(n, dtype=int)
     iterations = 0
-    for iterations in range(1, max_iterations + 1):
+    for iterations in range(1, max_iterations + 1):  # noqa: B007  # final count lands in KMeansResult
         distances = np.sum((data[:, None, :] - centers[None, :, :]) ** 2, axis=2)
         labels = np.argmin(distances, axis=1)
         new_centers = centers.copy()

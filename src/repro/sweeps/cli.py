@@ -44,6 +44,7 @@ from repro.sweeps.spec import SweepSpec
 from repro.telemetry import (
     TRACE_FORMATS,
     TelemetryRecorder,
+    monotonic_now,
     read_trace_jsonl,
     render_trace_report,
     use_recorder,
@@ -169,6 +170,7 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             f"{', population reused' if result.population_reused else ''})"
         )
 
+    # repro-lint: disable=REP002 run ids are provenance labels that deliberately record wall-clock; they are never parsed back into results
     run_id = f"{sweep.name}-{int(time.time())}"
     run = runner.run(
         sweep,
@@ -334,19 +336,19 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     config = _experiments_config(args)
     engine = _build_engine(args)
-    started = time.time()
+    started = monotonic_now()
     print(f"Generating population: {config.num_hosts} hosts, {config.num_weeks} weeks...")
     population = engine.generate(config)
     report = engine.last_report
     how = "cache" if report.cache_hit else f"{report.workers} worker(s)"
-    print(f"  ready in {time.time() - started:.1f}s (via {how})")
-    started = time.time()
+    print(f"  ready in {monotonic_now() - started:.1f}s (via {how})")
+    started = monotonic_now()
     print(
         "Running the full experiment suite "
         "(Figures 1-5, Tables 2-3, plus the Figure 6 staleness extension)..."
     )
     suite = run_all_experiments(population=population)
-    print(f"  completed in {time.time() - started:.1f}s\n")
+    print(f"  completed in {monotonic_now() - started:.1f}s\n")
     print(suite.render())
     return 0
 
@@ -459,6 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.loadgen.cli import add_loadgen_parser
 
     add_loadgen_parser(subcommands, _add_engine_flags, _add_output_flags)
+
+    from repro.analysis.cli import add_lint_parser
+
+    add_lint_parser(subcommands, _add_output_flags)
 
     experiments = subcommands.add_parser(
         "experiments",

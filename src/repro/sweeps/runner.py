@@ -20,8 +20,8 @@ stored results:
 
 from __future__ import annotations
 
+import contextlib
 import logging
-import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -32,7 +32,7 @@ from repro.core.experiment import ScenarioOutcome, evaluate_scenario
 from repro.engine import EngineStats, PopulationEngine, population_cache_key
 from repro.sweeps.results import ResultStore, ScenarioRecord
 from repro.sweeps.spec import ScenarioSpec, SweepSpec, scenario_spec_hash
-from repro.telemetry import add_count, child_recorder, get_recorder, trace_span
+from repro.telemetry import add_count, child_recorder, get_recorder, monotonic_now, trace_span
 from repro.utils.deprecation import warn_deprecated
 from repro.utils.validation import require
 from repro.workload.enterprise import EnterprisePopulation
@@ -146,15 +146,14 @@ def _evaluate_scenario_task(
     Returns the outcome payload, the wall-clock duration, and the worker's
     telemetry snapshot (merged into the parent recorder when tracing).
     """
-    started = time.perf_counter()
+    started = monotonic_now()
     spec = ScenarioSpec.from_dict(payload)
-    with child_recorder() as recorder:
-        with trace_span("sweeps.scenario", scenario=spec.name):
-            engine = PopulationEngine(workers=1, cache_dir=cache_dir)
-            population = engine.generate(spec.population.to_config())
-            outcome = run_scenario(spec, population)
-            add_count("sweeps.scenarios_evaluated")
-    return outcome.to_dict(), time.perf_counter() - started, recorder.snapshot()
+    with child_recorder() as recorder, trace_span("sweeps.scenario", scenario=spec.name):
+        engine = PopulationEngine(workers=1, cache_dir=cache_dir)
+        population = engine.generate(spec.population.to_config())
+        outcome = run_scenario(spec, population)
+        add_count("sweeps.scenarios_evaluated")
+    return outcome.to_dict(), monotonic_now() - started, recorder.snapshot()
 
 
 @dataclass(frozen=True)
@@ -291,9 +290,10 @@ class SweepRunner:
             warn_deprecated(
                 "SweepRunner.run(timing=...) is deprecated; subscribe to "
                 "'sweeps.scenario' span ends on a telemetry recorder instead "
-                "(see repro.telemetry)"
+                "(see repro.telemetry)",
+                since="PR7",
             )
-        started = time.perf_counter()
+        started = monotonic_now()
         scenarios = list(scenarios) if scenarios is not None else sweep.expand()
         skipped: Tuple[str, ...] = ()
         if store is not None and skip_existing:
@@ -340,7 +340,7 @@ class SweepRunner:
             populations_generated=stats_delta_generations,
             populations_from_cache=stats_delta_hits,
             engine_stats=self._engine.stats,
-            duration_seconds=time.perf_counter() - started,
+            duration_seconds=monotonic_now() - started,
             workers=self._effective_workers(),
             skipped_scenarios=skipped,
         )
@@ -397,14 +397,12 @@ class SweepRunner:
             for s in scenarios
         ]
         if self._effective_workers() > 1:
-            try:
+            # Restricted environments (no process spawning) fall back to the
+            # identical serial path, as the engine itself does.  Once the pool
+            # has produced a result, later errors are real and propagate
+            # instead (no silent duplicate re-run).
+            with contextlib.suppress(_PoolUnavailable):
                 return self._evaluate_parallel(scenarios, reused, progress, total)
-            except _PoolUnavailable:
-                # Restricted environments (no process spawning) fall back to
-                # the identical serial path, as the engine itself does.  Once
-                # the pool has produced a result, later errors are real and
-                # propagate instead (no silent duplicate re-run).
-                pass
         return self._evaluate_serial(scenarios, populations, reused, progress, total)
 
     def _evaluate_serial(
@@ -417,7 +415,7 @@ class SweepRunner:
     ) -> List[ScenarioResult]:
         results: List[ScenarioResult] = []
         for index, scenario in enumerate(scenarios):
-            scenario_started = time.perf_counter()
+            scenario_started = monotonic_now()
             with trace_span("sweeps.scenario", scenario=scenario.name) as span:
                 population = populations[
                     population_cache_key(scenario.population.to_config())
@@ -427,7 +425,7 @@ class SweepRunner:
             duration = (
                 span.duration
                 if span.duration is not None
-                else time.perf_counter() - scenario_started
+                else monotonic_now() - scenario_started
             )
             result = ScenarioResult(
                 scenario=scenario,
@@ -456,7 +454,9 @@ class SweepRunner:
                     executor.submit(_evaluate_scenario_task, scenario.to_dict(), cache_dir)
                     for scenario in scenarios
                 ]
-                for index, (scenario, future) in enumerate(zip(scenarios, futures)):
+                for index, (scenario, future) in enumerate(
+                    zip(scenarios, futures, strict=True)
+                ):
                     outcome_payload, duration, telemetry = future.result()
                     if recorder.enabled:
                         recorder.merge(telemetry)

@@ -916,11 +916,13 @@ class SweepSpec:
             return [{}]
         paths = [path for path, _ in self.axes]
         value_lists = [values for _, values in self.axes]
-        if self.mode == "grid":
-            combos = itertools.product(*value_lists)
-        else:
-            combos = zip(*value_lists)
-        return [dict(zip(paths, combo)) for combo in combos]
+        # validate() guarantees equal-length axes in zip mode.
+        combos = (
+            itertools.product(*value_lists)
+            if self.mode == "grid"
+            else zip(*value_lists, strict=True)
+        )
+        return [dict(zip(paths, combo, strict=True)) for combo in combos]
 
     def expand(self) -> List[ScenarioSpec]:
         """Expand into concrete, uniquely named, validated scenarios."""
@@ -945,7 +947,7 @@ class SweepSpec:
         """Shortest unambiguous label per axis path (last dotted segment)."""
         shorts = [path.rsplit(".", 1)[-1] for path, _ in self.axes]
         labels = {}
-        for (path, _), short in zip(self.axes, shorts):
+        for (path, _), short in zip(self.axes, shorts, strict=True):
             labels[path] = short if shorts.count(short) == 1 else path
         return labels
 

@@ -216,13 +216,13 @@ def _take_string(text: str, line_number: int) -> Tuple[str, str]:
     index = 1
     while index < len(text):
         ch = text[index]
+        if ch == '"':
+            return "".join(result), text[index + 1 :]
         if ch == "\\":
             index += 1
             if index >= len(text) or text[index] not in _UNESCAPES:
                 raise ValidationError(f"line {line_number}: unsupported escape in string")
             result.append(_UNESCAPES[text[index]])
-        elif ch == '"':
-            return "".join(result), text[index + 1 :]
         else:
             result.append(ch)
         index += 1

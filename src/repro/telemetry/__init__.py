@@ -26,6 +26,7 @@ from repro.telemetry.recorder import (
     add_count,
     child_recorder,
     get_recorder,
+    monotonic_now,
     set_gauge,
     trace_span,
     use_recorder,
@@ -38,9 +39,58 @@ from repro.telemetry.report import (
     wall_clock_coverage,
 )
 
+#: Every span name instrumented code may record.  ``repro lint`` (rule
+#: REP003) checks each ``trace_span("...")`` literal against this registry,
+#: so a typo'd name fails CI instead of silently fragmenting trace reports.
+SPAN_NAMES = (
+    "core.assign",
+    "core.evaluate",
+    "core.measure",
+    "core.train",
+    "engine.cache.deserialize",
+    "engine.cache.read",
+    "engine.cache.serialize",
+    "engine.cache.write",
+    "engine.generate",
+    "engine.generate_chunk",
+    "loadgen.event",
+    "loadgen.phase",
+    "loadgen.populations",
+    "loadgen.run",
+    "optimize.joint",
+    "sweeps.populations",
+    "sweeps.run",
+    "sweeps.scenario",
+    "temporal.retrain",
+    "temporal.timeline",
+    "temporal.train",
+    "temporal.week",
+)
+
+#: Every counter name instrumented code may increment (REP003, as above).
+COUNTER_NAMES = (
+    "core.host_weeks_measured",
+    "engine.cache.hits",
+    "engine.cache.misses",
+    "engine.hosts_generated",
+    "engine.populations_generated",
+    "optimize.assignments",
+    "optimize.iterations",
+    "sweeps.scenarios_evaluated",
+    "sweeps.scenarios_skipped",
+    "temporal.retrains",
+    "temporal.weeks_measured",
+)
+
+#: Every gauge name instrumented code may set (REP003; none recorded yet).
+GAUGE_NAMES = ()
+
 __all__ = [
+    "COUNTER_NAMES",
+    "GAUGE_NAMES",
     "NULL_RECORDER",
     "NULL_SPAN",
+    "SPAN_NAMES",
     "TRACE_FORMATS",
     "TRACE_FORMAT_VERSION",
     "NullRecorder",
@@ -51,6 +101,7 @@ __all__ = [
     "child_recorder",
     "chrome_trace",
     "get_recorder",
+    "monotonic_now",
     "read_trace_jsonl",
     "render_trace_report",
     "set_gauge",

@@ -127,6 +127,10 @@ class NullRecorder:
     def gauge(self, name: str, value: float) -> None:
         """Discard the gauge."""
 
+    def clock(self) -> float:
+        """The default monotonic clock (no recorder installed to override it)."""
+        return time.perf_counter()
+
 
 #: The process-wide disabled recorder.
 NULL_RECORDER = NullRecorder()
@@ -207,6 +211,10 @@ class TelemetryRecorder:
     def span(self, name: str, **attributes: Any) -> _SpanContext:
         """A context manager recording one span named ``name``."""
         return _SpanContext(self, name, attributes)
+
+    def clock(self) -> float:
+        """A reading of this recorder's (injectable) clock."""
+        return self._clock()
 
     def _start_span(self, name: str, attributes: Dict[str, Any]) -> ActiveSpan:
         span_id = self._next_id
@@ -405,6 +413,18 @@ def add_count(name: str, value: int = 1) -> None:
 def set_gauge(name: str, value: float) -> None:
     """Set the gauge ``name`` on the current recorder."""
     _CURRENT[-1].gauge(name, value)
+
+
+def monotonic_now() -> float:
+    """A monotonic seconds reading from the current recorder's clock.
+
+    This is the sanctioned seam for duration measurement outside the
+    telemetry module (enforced by ``repro lint`` rule REP002): with no
+    recorder installed it is :func:`time.perf_counter`, and under a
+    fake-clock :class:`TelemetryRecorder` every duration derived from it
+    becomes deterministic and replayable.
+    """
+    return _CURRENT[-1].clock()
 
 
 def worker_process_label() -> str:

@@ -90,7 +90,7 @@ class StalenessReport:
         """The utility-vs-week staleness table."""
         rows = []
         for week, utility, age, drift in zip(
-            self.weeks, self.utilities, self.ages, self.drift_statistics
+            self.weeks, self.utilities, self.ages, self.drift_statistics, strict=True
         ):
             rows.append(
                 [

@@ -20,7 +20,6 @@ bit-identical to :func:`~repro.core.experiment.evaluate_scenario`.
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -38,7 +37,7 @@ from repro.core.experiment import ScenarioOutcome, summarize_scenario
 from repro.core.policies import ConfigurationPolicy
 from repro.features.timeseries import FeatureMatrix
 from repro.temporal.schedule import RetrainSchedule
-from repro.telemetry import add_count, trace_span
+from repro.telemetry import add_count, monotonic_now, trace_span
 from repro.temporal.statistic import (
     drift_from_baseline,
     pooled_baseline_quantiles,
@@ -237,7 +236,7 @@ def evaluate_timeline(
     )
     with timeline_span:
         training_cost = 0.0
-        started = time.perf_counter()
+        started = monotonic_now()
         window = _initial_window(protocol, schedule)
         with trace_span("temporal.train", window_start=window[0], window_end=window[1]):
             training = detection_training_window_distributions(
@@ -249,7 +248,7 @@ def evaluate_timeline(
                 grouping_statistic_percentile=protocol.grouping_statistic_percentile,
                 fusion=protocol.fusion,
             )
-        training_cost += time.perf_counter() - started
+        training_cost += monotonic_now() - started
         initial_assignment = assignment
         deployed_week = first_week
         logger.info(
@@ -280,7 +279,7 @@ def evaluate_timeline(
                         # peeks at the week it is about to score.
                         drift_value = drift_from_baseline(matrices, baseline, week - 1)
                     if schedule.should_retrain(week, deployed_week, drift_value):
-                        started = time.perf_counter()
+                        started = monotonic_now()
                         window = (max(0, week - schedule.window_weeks), week)
                         with trace_span("temporal.retrain", week=week):
                             training = detection_training_window_distributions(
@@ -295,7 +294,7 @@ def evaluate_timeline(
                                 fusion=protocol.fusion,
                                 warm_start=assignment,
                             )
-                        training_cost += time.perf_counter() - started
+                        training_cost += monotonic_now() - started
                         deployed_week = week
                         retrain_weeks.append(week)
                         add_count("temporal.retrains")
@@ -368,7 +367,7 @@ def timeline_outcome(
     outcomes = [per_week[entry.week] for entry in result.weeks]
     first = outcomes[0]
     timeline_table: Dict[str, Dict[str, Any]] = {}
-    for entry, outcome in zip(result.weeks, outcomes):
+    for entry, outcome in zip(result.weeks, outcomes, strict=True):
         timeline_table[str(entry.week)] = {
             "mean_utility": outcome.mean_utility,
             "median_utility": outcome.median_utility,

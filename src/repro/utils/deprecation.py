@@ -9,12 +9,23 @@ without tripping on deprecations raised by third-party libraries.
 from __future__ import annotations
 
 import warnings
+from typing import Optional
 
 
 class ReproDeprecationWarning(DeprecationWarning):
     """A deprecated repro API was used."""
 
 
-def warn_deprecated(message: str, stacklevel: int = 3) -> None:
-    """Emit a :class:`ReproDeprecationWarning` attributed to the caller's caller."""
+def warn_deprecated(
+    message: str, since: Optional[str] = None, stacklevel: int = 3
+) -> None:
+    """Emit a :class:`ReproDeprecationWarning` attributed to the caller's caller.
+
+    ``since`` names the PR that deprecated the API (e.g. ``"PR3"``): it is
+    appended to the warning text, and ``repro lint`` (rule REP005) requires
+    it at every call site so the shim-removal cleanup stays a mechanical
+    table lookup — the lint report lists every shim with its age.
+    """
+    if since:
+        message = f"{message} (deprecated since {since})"
     warnings.warn(message, ReproDeprecationWarning, stacklevel=stacklevel)

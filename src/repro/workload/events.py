@@ -155,8 +155,5 @@ def event_amounts_for_bins(
             continue
         for feature, amount in event.feature_amounts.items():
             contribution = np.where(in_window, amount * jitter, 0.0)
-            if feature in totals:
-                totals[feature] = totals[feature] + contribution
-            else:
-                totals[feature] = contribution
+            totals[feature] = totals.get(feature, 0.0) + contribution
     return totals

@@ -1,0 +1,5 @@
+"""Fixture registry for the clean tree."""
+
+SPAN_NAMES = ("app.run",)
+COUNTER_NAMES = ("app.items",)
+GAUGE_NAMES = ()

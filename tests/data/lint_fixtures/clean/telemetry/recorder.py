@@ -1,0 +1,7 @@
+"""Fixture seam: the recorder owns the injectable clock (REP002 allows it)."""
+
+import time
+
+
+def default_clock():
+    return time.perf_counter()

@@ -1,0 +1,7 @@
+"""Fixture seam: the one module where numpy randomness may originate."""
+
+import numpy as np
+
+
+def spawn_rng(seed):
+    return np.random.default_rng(seed)

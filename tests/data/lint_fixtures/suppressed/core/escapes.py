@@ -1,0 +1,15 @@
+"""Suppression fixture: documented escapes, plus two malformed ones."""
+
+import time
+
+import numpy as np
+
+run_id = time.time()  # repro-lint: disable=REP002 provenance label, never parsed back
+
+# repro-lint: disable=REP001 deliberate global shuffle for the demo CLI
+np.random.shuffle([1, 2, 3])
+
+undocumented = time.time()  # repro-lint: disable=REP002
+
+# repro-lint: disable=REP999 suppressing a rule that does not exist
+leftover = 1

@@ -1,0 +1,12 @@
+"""REP002 fixture: host-clock reads outside the sanctioned seams."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    started = time.time()  # wall clock
+    tick = perf_counter()  # from-import resolves too
+    when = datetime.now()  # datetime family
+    return started, tick, when

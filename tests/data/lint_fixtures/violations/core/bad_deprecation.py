@@ -1,0 +1,18 @@
+"""REP005 fixture: shims without lifecycle markers."""
+
+import warnings
+
+from utils.deprecation import ReproDeprecationWarning, warn_deprecated
+
+
+def old_api():
+    warn_deprecated("old_api is deprecated; use new_api")  # no since=
+
+
+def older_api():
+    warnings.warn("older_api is deprecated", ReproDeprecationWarning)
+
+
+def stamped_api():
+    # Negative case: a marked shim is inventoried but not a violation.
+    warn_deprecated("stamped_api is deprecated", since="PR2")

@@ -1,0 +1,34 @@
+"""REP006 fixture: impure / unpicklable process-pool tasks."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+shared_results = []  # mutable module global
+
+
+def _impure_task(payload):
+    shared_results.append(payload)  # reads the mutable global
+    return payload
+
+
+def _pure_task(payload):
+    return payload * 2
+
+
+def fan_out(payloads):
+    def closure_task(p):
+        return p
+
+    with ProcessPoolExecutor() as executor:
+        executor.submit(lambda: _pure_task(1))  # unpicklable lambda
+        executor.submit(closure_task, 3)  # nested function
+        executor.submit(_impure_task, 4)  # global-state task
+        executor.submit(_pure_task, 5)  # negative case: clean
+
+
+class Dispatcher:
+    def evaluate(self, payload):
+        return payload
+
+    def run(self):
+        with ProcessPoolExecutor() as executor:
+            executor.submit(self.evaluate, 2)  # bound method

@@ -1,0 +1,19 @@
+"""REP001 fixture: every flavour of global / unseeded randomness."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample(n):
+    noise = np.random.rand(n)  # legacy global-state namespace
+    jitter = random.random()  # stdlib process-global RNG
+    rng = default_rng()  # entropy-seeded, unreproducible
+    return noise, jitter, rng
+
+
+def seeded_ok(seed, n):
+    # Negative case: a seeded generator and method calls on it are fine.
+    rng = np.random.default_rng(seed)
+    return rng.random(n)

@@ -1,0 +1,9 @@
+"""REP003 fixture: span/counter literals not declared in the registry."""
+
+from telemetry import add_count, trace_span
+
+
+def run():
+    with trace_span("app.typo"):  # not in SPAN_NAMES
+        add_count("app.items")  # declared: no finding
+        add_count("nope")  # not in COUNTER_NAMES

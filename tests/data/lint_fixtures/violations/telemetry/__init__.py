@@ -1,0 +1,5 @@
+"""Fixture registry: the names REP003 treats as declared for this tree."""
+
+SPAN_NAMES = ("app.run",)
+COUNTER_NAMES = ("app.items",)
+GAUGE_NAMES = ()

@@ -64,7 +64,7 @@ class TestFig2:
 class TestTable2:
     def test_best_user_lists(self, small_population):
         result = run_table2(small_population, top_count=10)
-        for key, users in result.best_users.items():
+        for users in result.best_users.values():
             assert len(users) == 10
             assert len(set(users)) == 10
         # The best users for UDP are not all the same as the best users for TCP.

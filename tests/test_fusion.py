@@ -222,7 +222,7 @@ class TestMultiFeatureEvaluation:
 
         def builder(host_id, matrix, thresholds):
             seen[host_id] = dict(thresholds)
-            return None
+            return None  # noqa: RET501  # None is the builder contract for "no attack"
 
         protocol = DetectionProtocol(features=(FEATURE_A, FEATURE_B))
         evaluation = evaluate_policy(matrices, FullDiversityPolicy(), protocol, builder)
@@ -236,7 +236,7 @@ class TestMultiFeatureEvaluation:
 
         def builder(host_id, matrix, *, thresholds):
             seen[host_id] = dict(thresholds)
-            return None
+            return None  # noqa: RET501  # None is the builder contract for "no attack"
 
         protocol = DetectionProtocol(features=(FEATURE_A, FEATURE_B))
         evaluate_policy(matrices, FullDiversityPolicy(), protocol, builder)

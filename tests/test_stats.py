@@ -291,7 +291,7 @@ class TestKMeans:
     def test_inertia_decreases_with_more_clusters(self, rng):
         data = rng.normal(size=(60, 2))
         inertia = [kmeans(data, k=k, seed=0).inertia for k in (1, 2, 4, 8)]
-        assert all(a >= b - 1e-9 for a, b in zip(inertia, inertia[1:]))
+        assert all(a >= b - 1e-9 for a, b in zip(inertia, inertia[1:], strict=False))
 
     def test_invalid_k_rejected(self):
         with pytest.raises(ValidationError):

@@ -475,7 +475,7 @@ class TestTimelineScenarios:
             payload.pop("training_cost_seconds")  # wall-clock, run-dependent
             return payload
 
-        for left, right in zip(serial.results, parallel.results):
+        for left, right in zip(serial.results, parallel.results, strict=True):
             assert metrics(left.outcome) == metrics(right.outcome)
 
     def test_v3_record_without_temporal_fields_still_readable(self, tmp_path):

@@ -25,6 +25,7 @@ from repro.telemetry import (
     add_count,
     chrome_trace,
     get_recorder,
+    monotonic_now,
     read_trace_jsonl,
     render_trace_report,
     set_gauge,
@@ -36,6 +37,7 @@ from repro.telemetry import (
 )
 from repro.utils.deprecation import ReproDeprecationWarning
 from repro.utils.validation import ValidationError
+from repro.workload.enterprise import EnterpriseConfig
 
 
 def fake_clock(step=1.0, start=0.0):
@@ -85,10 +87,12 @@ class TestRecorder:
 
     def test_spans_nest_and_carry_attributes(self):
         recorder = TelemetryRecorder(clock=fake_clock())
-        with use_recorder(recorder):
-            with trace_span("outer", level=0):
-                with trace_span("inner", level=1) as inner:
-                    inner.set(extra="x")
+        with (
+            use_recorder(recorder),
+            trace_span("outer", level=0),
+            trace_span("inner", level=1) as inner,
+        ):
+            inner.set(extra="x")
         inner, outer = recorder.spans  # spans are recorded in end order
         assert (outer.name, outer.parent_id) == ("outer", None)
         assert (inner.name, inner.parent_id) == ("inner", outer.span_id)
@@ -99,10 +103,8 @@ class TestRecorder:
     def test_span_stack_unwinds_on_exceptions(self):
         recorder = TelemetryRecorder(clock=fake_clock())
         with use_recorder(recorder):
-            with pytest.raises(RuntimeError):
-                with trace_span("outer"):
-                    with trace_span("failing"):
-                        raise RuntimeError("boom")
+            with pytest.raises(RuntimeError), trace_span("outer"), trace_span("failing"):
+                raise RuntimeError("boom")
             with trace_span("after"):
                 pass
         assert [span.name for span in recorder.spans] == ["failing", "outer", "after"]
@@ -127,22 +129,18 @@ class TestRecorder:
             seen.append(span.name)
 
         recorder.subscribe(on_span)
-        with use_recorder(recorder):
-            with trace_span("a"):
-                with trace_span("b"):
-                    pass
+        with use_recorder(recorder), trace_span("a"), trace_span("b"):
+            pass
         recorder.unsubscribe(on_span)
-        with use_recorder(recorder):
-            with trace_span("after-unsubscribe"):
-                pass
+        with use_recorder(recorder), trace_span("after-unsubscribe"):
+            pass
         assert seen == ["b", "a"]  # end order; nothing after unsubscribe
 
     def test_merge_reparents_worker_roots_and_sums_counters(self):
         parent = TelemetryRecorder(clock=fake_clock())
         worker = TelemetryRecorder(clock=fake_clock(), process="worker-1")
-        with use_recorder(worker):
-            with trace_span("task"):
-                add_count("done", 2)
+        with use_recorder(worker), trace_span("task"):
+            add_count("done", 2)
         with use_recorder(parent):
             add_count("done", 1)
             with trace_span("dispatch"):
@@ -155,10 +153,8 @@ class TestRecorder:
 
     def test_tree_strips_timings_but_keeps_structure(self):
         recorder = TelemetryRecorder(clock=fake_clock())
-        with use_recorder(recorder):
-            with trace_span("root", n=1):
-                with trace_span("child"):
-                    pass
+        with use_recorder(recorder), trace_span("root", n=1), trace_span("child"):
+            pass
         assert recorder.tree() == [
             {
                 "name": "root",
@@ -203,9 +199,8 @@ class TestExporters:
     def _recorded(self):
         recorder = TelemetryRecorder(clock=fake_clock())
         with use_recorder(recorder):
-            with trace_span("root", n=2):
-                with trace_span("leaf"):
-                    add_count("work", 3)
+            with trace_span("root", n=2), trace_span("leaf"):
+                add_count("work", 3)
             set_gauge("level", 7.5)
         return recorder
 
@@ -248,12 +243,10 @@ class TestExporters:
     def test_chrome_trace_normalizes_worker_timestamps(self):
         parent = TelemetryRecorder(clock=fake_clock(start=100.0))
         worker = TelemetryRecorder(clock=fake_clock(start=0.0), process="worker-9")
-        with use_recorder(worker):
-            with trace_span("task"):
-                pass
-        with use_recorder(parent):
-            with trace_span("dispatch"):
-                parent.merge(worker.snapshot())
+        with use_recorder(worker), trace_span("task"):
+            pass
+        with use_recorder(parent), trace_span("dispatch"):
+            parent.merge(worker.snapshot())
         events = chrome_trace(parent)["traceEvents"]
         complete = [event for event in events if event["ph"] == "X"]
         # Each process' earliest span starts at ts 0 regardless of clock origin.
@@ -267,9 +260,8 @@ class TestReport:
         recorder = TelemetryRecorder(clock=fake_clock())
         with use_recorder(recorder):
             for _ in range(2):
-                with trace_span("run"):
-                    with trace_span("step"):
-                        pass
+                with trace_span("run"), trace_span("step"):
+                    pass
         (run_summary,) = summarize_spans(recorder)
         assert (run_summary.name, run_summary.count) == ("run", 2)
         (step_summary,) = run_summary.children
@@ -291,9 +283,8 @@ class TestReport:
 
     def test_rendered_report_lists_spans_counters_and_coverage(self):
         recorder = TelemetryRecorder(clock=fake_clock())
-        with use_recorder(recorder):
-            with trace_span("run"):
-                add_count("work", 2)
+        with use_recorder(recorder), trace_span("run"):
+            add_count("work", 2)
         text = render_trace_report(recorder)
         assert "run" in text
         assert "work" in text
@@ -476,3 +467,37 @@ class TestCli:
         code = cli_main(["loadgen", "report", str(report_path)])
         assert code == 0
         assert "engine cache:" in capsys.readouterr().out
+
+
+# ------------------------------------------------------- injectable durations
+class TestMonotonicNow:
+    """The REP002 seam: durations flow through the active recorder's clock."""
+
+    def test_reads_the_active_recorders_clock(self):
+        recorder = TelemetryRecorder(clock=fake_clock())
+        with use_recorder(recorder):
+            assert monotonic_now() == 0.0
+            assert monotonic_now() == 1.0
+        # Back on the null recorder: real monotonic time keeps flowing.
+        assert monotonic_now() <= monotonic_now()
+
+    def test_nested_recorders_pop_back(self):
+        outer = TelemetryRecorder(clock=fake_clock(start=100.0))
+        inner = TelemetryRecorder(clock=fake_clock(start=0.0))
+        with use_recorder(outer):
+            assert monotonic_now() == 100.0
+            with use_recorder(inner):
+                assert monotonic_now() == 0.0
+            assert monotonic_now() == 101.0
+
+    def test_engine_report_duration_is_deterministic_under_fake_clock(self, tmp_path):
+        def run(label):
+            recorder = TelemetryRecorder(clock=fake_clock())
+            engine = PopulationEngine(workers=1, cache_dir=tmp_path / label)
+            with use_recorder(recorder):
+                engine.generate(EnterpriseConfig(num_hosts=6, num_weeks=2, seed=3))
+            return engine.last_report
+
+        first, second = run("first"), run("second")
+        assert first.duration_seconds == second.duration_seconds
+        assert first.duration_seconds > 0.0

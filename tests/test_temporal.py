@@ -306,7 +306,7 @@ class TestTimeline:
 
         def recording_builder(host_id, matrix, thresholds):
             seen.setdefault(host_id, []).append(thresholds[Feature.TCP_CONNECTIONS])
-            return None
+            return None  # noqa: RET501  # None is the builder contract for "no attack"
 
         # Plain builder: always handed the initial deployment's thresholds.
         evaluate_timeline(

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.utils.deprecation import ReproDeprecationWarning, warn_deprecated
 from repro.utils.rng import RandomSource, derive_seed, spawn_rng
 from repro.utils.timeutils import (
     BinSpec,
@@ -143,3 +144,15 @@ class TestRandomSource:
     def test_derive_seed_in_range(self, seed, label):
         derived = derive_seed(seed, label)
         assert 0 <= derived < 2**63
+
+
+class TestDeprecationLifecycle:
+    def test_warn_deprecated_appends_the_since_marker(self):
+        with pytest.warns(
+            ReproDeprecationWarning, match=r"old\(\) is gone \(deprecated since PR9\)"
+        ):
+            warn_deprecated("old() is gone", since="PR9", stacklevel=2)
+
+    def test_warn_deprecated_without_since_keeps_the_message_verbatim(self):
+        with pytest.warns(ReproDeprecationWarning, match=r"old\(\) is gone$"):
+            warn_deprecated("old() is gone", stacklevel=2)
