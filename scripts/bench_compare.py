@@ -10,7 +10,15 @@ Hot paths missing from the baseline are reported as "no baseline yet" and do
 not fail the gate — that is how new benchmarks (sweep throughput, loadgen
 phases) enter the trajectory.  Hot paths missing from the *fresh* payloads
 fail: the benchmark silently disappearing is exactly what the gate exists to
-catch.
+catch.  When a hot path is renamed, record the rename in
+:data:`BENCHMARK_ALIASES` — the gate then matches the old baseline entry
+against the new fresh name and keeps the trajectory continuous.  A hot path
+absent from *both* sides is a hard failure too (a stale gate configuration
+or a missing alias), never a silent skip.
+
+Besides the per-benchmark table the gate prints a geometric-mean speedup
+across every benchmark shared by both sides — the one-number trajectory
+summary (>1.0 means the fresh run is faster overall).
 
 Machine-info caveats are printed whenever the baseline and fresh payloads
 were produced on visibly different machines — cross-machine ratios are
@@ -26,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -36,10 +45,48 @@ DEFAULT_HOT_PATHS: Tuple[str, ...] = (
     "test_bench_fig3_utility_comparison",
     "test_bench_fig4_attacker_effectiveness",
     "test_bench_sweep_runner_throughput",
+    "test_bench_scaleout_sampled_eval",
 )
 
 #: Default failure threshold: fresh median > 2x baseline median.
 DEFAULT_THRESHOLD = 2.0
+
+#: Renamed benchmarks: baseline (old) name -> fresh (current) name.  The
+#: comparison and the geomean both treat the pair as one benchmark, so a
+#: rename does not read as "hot path disappeared" or drop the entry from
+#: the trajectory.  Add a pair here whenever a benchmark is renamed.
+BENCHMARK_ALIASES: Dict[str, str] = {}
+
+
+def apply_aliases(
+    baseline: Dict[str, float], aliases: Dict[str, str]
+) -> Dict[str, float]:
+    """Baseline medians re-keyed under their current (fresh) names.
+
+    An alias only rewrites when the baseline still uses the old name and has
+    no entry under the new one — a baseline regenerated after the rename
+    wins over the alias map.
+    """
+    renamed = dict(baseline)
+    for old, new in aliases.items():
+        if old in renamed and new not in renamed:
+            renamed[new] = renamed.pop(old)
+    return renamed
+
+
+def geomean_speedup(
+    fresh: Dict[str, float], baseline: Dict[str, float]
+) -> Optional[float]:
+    """Geometric mean of baseline/fresh median ratios over shared benchmarks.
+
+    ``None`` when no benchmark is shared.  >1.0 means the fresh run is
+    faster overall.
+    """
+    shared = set(fresh) & set(baseline)
+    if not shared:
+        return None
+    log_sum = sum(math.log(baseline[name] / fresh[name]) for name in shared)
+    return math.exp(log_sum / len(shared))
 
 
 def load_payload(path: Path) -> Dict[str, Any]:
@@ -119,7 +166,11 @@ def compare(
                 failures.append(f"hot path {name!r} missing from the fresh payload(s)")
                 rows.append((name, "MISSING from fresh run", None))
             else:
-                rows.append((name, "absent from both sides — skipped", None))
+                failures.append(
+                    f"hot path {name!r} absent from both payloads — stale gate "
+                    f"configuration or a rename missing from BENCHMARK_ALIASES"
+                )
+                rows.append((name, "ABSENT from both sides", None))
             continue
         if name not in baseline:
             rows.append((name, f"no baseline yet ({fresh[name]:.4f}s fresh) — skipped", None))
@@ -173,7 +224,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     hot_paths = tuple(args.hot_path) if args.hot_path else DEFAULT_HOT_PATHS
     fresh_medians = merge_medians(fresh_payloads)
-    baseline_medians = medians(baseline_payload)
+    baseline_medians = apply_aliases(medians(baseline_payload), BENCHMARK_ALIASES)
     rows, failures = compare(fresh_medians, baseline_medians, hot_paths, args.threshold)
 
     print(
@@ -187,6 +238,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name, status, _ in rows:
         marker = "*" if name in hot_paths else " "
         print(f" {marker} {name:<{width}}  {status}")
+    speedup = geomean_speedup(fresh_medians, baseline_medians)
+    if speedup is not None:
+        shared = len(set(fresh_medians) & set(baseline_medians))
+        print(
+            f"geomean speedup over {shared} shared benchmark(s): {speedup:.2f}x "
+            f"({'faster' if speedup >= 1.0 else 'slower'} than baseline)"
+        )
 
     if failures:
         for failure in failures:

@@ -1,0 +1,126 @@
+"""CI smoke check: a 10k-host sampled evaluation stays memory-bounded.
+
+Runs one sampled campaign against a sharded 10k-host population — small
+host-range shards, two resident at most — and asserts, via
+``resource.getrusage``, that peak RSS stayed below the budget.  Fully
+materialising the population's host arrays would blow straight through the
+budget (10240 hosts x 2 weeks is ~630 MiB of float64 bins alone), so the
+assertion is what proves the sharded + sampled path never builds the full
+host array.
+
+The sampled outcome itself is sanity-checked too: the bootstrap interval
+must bracket the point estimate and the sampling provenance fields must
+round-trip into the outcome.
+
+Usage::
+
+    python scripts/ci_checks/check_scaleout.py \\
+        --hosts 10240 --sample 64 --budget-mb 400 \\
+        --cache-dir .benchmarks/population-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+from typing import List, Optional, Sequence
+
+
+def peak_rss_mb() -> float:
+    """Peak RSS of this process in MiB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def run_smoke(
+    hosts: int,
+    weeks: int,
+    sample: int,
+    hosts_per_shard: int,
+    max_resident_shards: int,
+    cache_dir: Optional[str],
+) -> tuple:
+    """Run the sampled scale-out evaluation; returns ``(outcome, population)``."""
+    from repro.core.sampling import SampleSpec
+    from repro.engine import PopulationEngine
+    from repro.sweeps.runner import run_scenario
+    from repro.sweeps.spec import EvaluationSpec, PopulationSpec, ScenarioSpec
+
+    engine = PopulationEngine(cache_dir=cache_dir)
+    spec = ScenarioSpec(
+        name="scaleout-smoke",
+        population=PopulationSpec(num_hosts=hosts, num_weeks=weeks),
+        evaluation=EvaluationSpec(sample=SampleSpec(size=sample, seed=7)),
+    ).validate()
+    population = engine.generate_sharded(
+        spec.population.to_config(),
+        hosts_per_shard=hosts_per_shard,
+        max_resident_shards=max_resident_shards,
+    )
+    return run_scenario(spec, population), population
+
+
+def check_outcome(outcome, sample: int, budget_mb: float) -> List[str]:
+    """Every violated expectation, as human-readable messages."""
+    errors: List[str] = []
+    if outcome.sample_size != sample:
+        errors.append(f"outcome.sample_size is {outcome.sample_size}, expected {sample}")
+    if outcome.utility_ci_low is None or outcome.utility_ci_high is None:
+        errors.append("sampled outcome is missing its bootstrap confidence interval")
+    elif not outcome.utility_ci_low <= outcome.mean_utility <= outcome.utility_ci_high:
+        errors.append(
+            f"bootstrap interval [{outcome.utility_ci_low}, {outcome.utility_ci_high}] "
+            f"does not bracket the point estimate {outcome.mean_utility}"
+        )
+    if outcome.bootstrap_iterations <= 0:
+        errors.append("outcome.bootstrap_iterations missing from the sampled outcome")
+    rss = peak_rss_mb()
+    if rss > budget_mb:
+        errors.append(
+            f"peak RSS {rss:.1f} MiB exceeds the {budget_mb:.0f} MiB budget — "
+            f"the sampled path materialised (close to) the full host array"
+        )
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--hosts", type=int, default=10240)
+    parser.add_argument("--weeks", type=int, default=2)
+    parser.add_argument("--sample", type=int, default=64)
+    parser.add_argument("--hosts-per-shard", type=int, default=512)
+    parser.add_argument("--max-resident-shards", type=int, default=2)
+    parser.add_argument(
+        "--budget-mb",
+        type=float,
+        default=400.0,
+        help="peak-RSS ceiling in MiB (default 400; full materialisation needs >700)",
+    )
+    parser.add_argument("--cache-dir", default=None, help="population cache directory")
+    args = parser.parse_args(argv)
+
+    outcome, population = run_smoke(
+        hosts=args.hosts,
+        weeks=args.weeks,
+        sample=args.sample,
+        hosts_per_shard=args.hosts_per_shard,
+        max_resident_shards=args.max_resident_shards,
+        cache_dir=args.cache_dir,
+    )
+    errors = check_outcome(outcome, sample=args.sample, budget_mb=args.budget_mb)
+    if errors:
+        for error in errors:
+            print(f"check_scaleout: FAIL: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {args.hosts} hosts in {population.num_shards} shard(s), "
+        f"sampled {outcome.sample_size} -> mean_utility {outcome.mean_utility:.4f} "
+        f"ci{outcome.sample_confidence:.0%} [{outcome.utility_ci_low:.4f}, "
+        f"{outcome.utility_ci_high:.4f}], peak RSS {peak_rss_mb():.1f} MiB "
+        f"(budget {args.budget_mb:.0f} MiB)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

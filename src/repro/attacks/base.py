@@ -9,7 +9,7 @@ Overlaying the attack on the benign series is a simple element-wise addition
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,6 +90,76 @@ class AttackTrace:
     def attack_bins(self, feature: Feature) -> np.ndarray:
         """Boolean mask of bins where the attack is active for ``feature``."""
         return self.amounts(feature) > 0
+
+
+class VictimBatch:
+    """A batch of victim hosts sharing one bin grid, for vectorised attacks.
+
+    The measurement path hands one of these to a batch-capable attack
+    builder (see :func:`with_batch`) instead of calling the per-host builder
+    once per victim.  Feature value stacks are provided lazily so a builder
+    that only needs ``num_bins`` (naive, storm) never pays for stacking, while
+    the mimicry attacker can profile every victim of its target feature in a
+    single ``(num_hosts, num_bins)`` array.
+
+    Attributes
+    ----------
+    host_ids:
+        The victims, in measurement order (row ``i`` of every stack belongs
+        to ``host_ids[i]``).
+    bin_spec:
+        The common binning of the victims' series.
+    num_bins:
+        Bins per victim series.
+    thresholds:
+        Per-feature ``(num_hosts,)`` threshold vectors handed to the attacker
+        (what the per-host builder receives as its ``thresholds`` mapping).
+    """
+
+    def __init__(
+        self,
+        host_ids: Sequence[int],
+        bin_spec: BinSpec,
+        num_bins: int,
+        thresholds: Mapping[Feature, np.ndarray],
+        values_provider: Callable[[Feature], np.ndarray],
+    ) -> None:
+        self.host_ids: Tuple[int, ...] = tuple(host_ids)
+        self.bin_spec = bin_spec
+        self.num_bins = int(num_bins)
+        self.thresholds = dict(thresholds)
+        self._values_provider = values_provider
+        self._values_cache: Dict[Feature, np.ndarray] = {}
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of victims in the batch."""
+        return len(self.host_ids)
+
+    def values(self, feature: Feature) -> np.ndarray:
+        """``(num_hosts, num_bins)`` benign value stack of ``feature``."""
+        if feature not in self._values_cache:
+            self._values_cache[feature] = self._values_provider(feature)
+        return self._values_cache[feature]
+
+
+#: Signature of a batch attack builder: per-feature ``(num_hosts, num_bins)``
+#: injected amounts (an all-zero row means that host is not attacked, which
+#: measures identically to a per-host builder returning ``None``), or ``None``
+#: to fall back to the per-host builder.
+BatchAttackFn = Callable[[VictimBatch], Optional[Mapping[Feature, np.ndarray]]]
+
+
+def with_batch(per_host_builder: Callable, batch_fn: BatchAttackFn) -> Callable:
+    """Attach a vectorised batch form to a per-host attack builder.
+
+    The per-host builder remains the source of truth (and the fallback for
+    irregular populations); the measurement path prefers ``batch_fn`` when
+    every victim shares a bin grid.  Both forms must produce bit-identical
+    injected amounts.
+    """
+    per_host_builder.batch = batch_fn
+    return per_host_builder
 
 
 class Attack:

@@ -104,6 +104,28 @@ class MimicryAttacker(Attack):
         )
 
 
+def batch_hidden_traffic(
+    values: np.ndarray,
+    thresholds: np.ndarray,
+    evasion_probability: float = 0.9,
+) -> np.ndarray:
+    """Largest hidden per-bin injection per host, over stacked benign values.
+
+    The vectorised form of
+    :meth:`~repro.stats.empirical.EmpiricalDistribution.largest_hidden_shift`:
+    ``values`` is a ``(num_hosts, num_bins)`` stack of each victim's benign
+    series, ``thresholds`` the ``(num_hosts,)`` thresholds in force.  Row
+    ``i`` is bit-identical to the per-host computation — ``np.percentile``
+    along ``axis=1`` applies the same order statistics and interpolation per
+    row as the scalar call does on one host's samples.
+    """
+    require_probability(evasion_probability, "evasion_probability")
+    stacked = np.asarray(values, dtype=float)
+    require(stacked.ndim == 2, "values must be a (num_hosts, num_bins) stack")
+    quantiles = np.percentile(stacked, 100.0 * evasion_probability, axis=1)
+    return np.maximum(0.0, np.asarray(thresholds, dtype=float) - quantiles)
+
+
 def hidden_traffic_by_host(
     matrices: Mapping[int, FeatureMatrix],
     thresholds: Mapping[int, float],
@@ -114,8 +136,20 @@ def hidden_traffic_by_host(
 
     This is the quantity summarised by the Figure 4(b) boxplots: for each
     host, the largest per-bin injection a mimicry attacker can sustain while
-    evading detection with ``evasion_probability``.
+    evading detection with ``evasion_probability``.  Populations whose hosts
+    share a bin grid are scored as one stacked percentile computation
+    (bit-identical to the per-host loop, which remains the fallback for
+    irregular matrices).
     """
+    host_ids = list(matrices)
+    lengths = {matrices[host_id].num_bins for host_id in host_ids}
+    if len(lengths) == 1:
+        stacked = np.stack(
+            [np.asarray(matrices[host_id].series(feature).values) for host_id in host_ids]
+        )
+        threshold_vector = np.array([float(thresholds[host_id]) for host_id in host_ids])
+        hidden = batch_hidden_traffic(stacked, threshold_vector, evasion_probability)
+        return {host_id: float(value) for host_id, value in zip(host_ids, hidden)}
     results: Dict[int, float] = {}
     for host_id, matrix in matrices.items():
         attacker = MimicryAttacker(

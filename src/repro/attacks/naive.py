@@ -10,11 +10,11 @@ plausible sizes (Figure 4(a)).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.attacks.base import Attack, AttackTrace, FeatureInjection
+from repro.attacks.base import Attack, AttackTrace, FeatureInjection, VictimBatch
 from repro.features.definitions import Feature
 from repro.features.timeseries import FeatureMatrix
 from repro.utils.validation import require, require_non_negative, require_probability
@@ -60,6 +60,25 @@ class NaiveAttacker(Attack):
             injections={self.feature: injection},
             bin_spec=victim.series(self.feature).bin_spec,
         )
+
+    def batch_amounts(
+        self, batch: VictimBatch, rng_for: Callable[[int], np.random.Generator]
+    ) -> np.ndarray:
+        """Per-host injected amounts for a whole victim batch.
+
+        Bit-identical to calling :meth:`build` per host with
+        ``rng_for(host_id)``: an always-on attack needs no randomness at all,
+        while intermittent campaigns draw each host's activity mask from its
+        own generator, in host order, exactly as the per-host path does.
+        """
+        base = float(self.attack_size)
+        if self.active_fraction >= 1.0:
+            return np.full((batch.num_hosts, batch.num_bins), base)
+        rows = np.empty((batch.num_hosts, batch.num_bins))
+        for index, host_id in enumerate(batch.host_ids):
+            active = rng_for(host_id).uniform(size=batch.num_bins) < self.active_fraction
+            rows[index] = np.where(active, base, 0.0)
+        return rows
 
 
 def constant_rate_attack(

@@ -49,18 +49,17 @@ from repro.core.metrics import (
 )
 from repro.core.evaluation import (
     DetectionProtocol,
-    EvaluationProtocol,
     HostPerformance,
     PolicyEvaluation,
     detection_training_distributions,
     detection_training_window_distributions,
     evaluate_policy,
-    evaluate_policy_on_feature,
     measure_assignment,
     training_distributions,
     weekly_train_test_pairs,
 )
 from repro.core.experiment import ExperimentContext, PolicyComparison, build_context
+from repro.core.sampling import SampleSpec, bootstrap_mean_interval, sample_host_ids
 
 __all__ = [
     "ThresholdHeuristic",
@@ -94,11 +93,9 @@ __all__ = [
     "FUSION_RULES",
     "DetectionAssignment",
     "DetectionProtocol",
-    "EvaluationProtocol",
     "HostPerformance",
     "PolicyEvaluation",
     "evaluate_policy",
-    "evaluate_policy_on_feature",
     "measure_assignment",
     "training_distributions",
     "detection_training_distributions",
@@ -107,4 +104,7 @@ __all__ = [
     "ExperimentContext",
     "PolicyComparison",
     "build_context",
+    "SampleSpec",
+    "bootstrap_mean_interval",
+    "sample_host_ids",
 ]

@@ -12,11 +12,15 @@ The evaluation API is built around feature *sets*: a
 :class:`DetectionProtocol` names the monitored features and the
 :class:`~repro.core.fusion.FusionRule` combining their per-bin alert
 indicators, and :func:`evaluate_policy` measures both the per-feature
-operating points and the fused per-host (FP, FN)/utility.  The deprecated
-single-feature entry points (:func:`EvaluationProtocol`,
-:func:`evaluate_policy_on_feature`) are thin shims over the feature-set API;
-a one-feature protocol with any fusion rule reproduces the legacy numbers
-bit for bit.
+operating points and the fused per-host (FP, FN)/utility.
+
+Measurement is vectorised: populations whose hosts share one bin grid (every
+generated population does) are scored as whole ``(num_hosts, num_bins)``
+array operations per feature — threshold exceedance, attack overlay and
+fusion votes — instead of a per-host Python loop.  The per-host loop is kept
+as the fallback for irregular matrices and as the golden reference the
+batched path is regression-tested against; the two produce bit-identical
+:class:`HostPerformance` values.
 """
 
 from __future__ import annotations
@@ -24,12 +28,12 @@ from __future__ import annotations
 import inspect
 import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.attacks.base import AttackTrace
-from repro.attacks.injection import InjectedSeries, inject_attack
+from repro.attacks.base import AttackTrace, VictimBatch
+from repro.attacks.injection import InjectedSeries, inject_attack, pad_attack_amounts
 from repro.core.detector import ThresholdDetector
 from repro.core.fusion import FusionRule
 from repro.core.metrics import DEFAULT_UTILITY_WEIGHT, OperatingPoint
@@ -40,7 +44,6 @@ from repro.features.timeseries import FeatureMatrix, TimeSeries
 from repro.stats.empirical import EmpiricalDistribution
 from repro.stats.summary import SummaryStatistics, summarize
 from repro.telemetry import add_count, trace_span
-from repro.utils.deprecation import warn_deprecated
 from repro.utils.timeutils import WEEK
 from repro.utils.validation import require, require_probability
 
@@ -132,36 +135,6 @@ class DetectionProtocol:
             "protocol.feature is only defined for single-feature protocols; use .features",
         )
         return self.features[0]
-
-
-def EvaluationProtocol(
-    feature: Feature,
-    train_week: int = 0,
-    test_week: int = 1,
-    utility_weight: float = DEFAULT_UTILITY_WEIGHT,
-    grouping_statistic_percentile: float = DEFAULT_PERCENTILE,
-    train_on_active_bins: bool = True,
-) -> DetectionProtocol:
-    """Deprecated: build a single-feature :class:`DetectionProtocol`.
-
-    ``EvaluationProtocol(feature=f, ...)`` is the pre-feature-set API; it now
-    returns ``DetectionProtocol(features=(f,), fusion=FusionRule.any_())``,
-    which evaluates bit-identically to the legacy single-feature path.
-    """
-    warn_deprecated(
-        "EvaluationProtocol is deprecated; use "
-        "DetectionProtocol(features=[...], fusion=FusionRule...) instead",
-        since="PR3",
-    )
-    return DetectionProtocol(
-        features=(feature,),
-        fusion=FusionRule.any_(),
-        train_week=train_week,
-        test_week=test_week,
-        utility_weight=utility_weight,
-        grouping_statistic_percentile=grouping_statistic_percentile,
-        train_on_active_bins=train_on_active_bins,
-    )
 
 
 def weekly_train_test_pairs(num_weeks: int, overlapping: bool = False) -> List[Tuple[int, int]]:
@@ -361,9 +334,12 @@ def training_distributions(
     the training distribution, matching a connection-log-driven pipeline; a
     host with no active bins at all falls back to its full (all-zero) series
     so that a threshold can still be computed.
+
+    Only the requested feature's series is sliced — a single-feature protocol
+    never pays for slicing the five features it does not train on.
     """
     return {
-        host_id: _training_distribution(matrix.week(week).series(feature), active_bins_only)
+        host_id: _training_distribution(matrix.series(feature).week(week), active_bins_only)
         for host_id, matrix in matrices.items()
     }
 
@@ -411,10 +387,9 @@ def detection_training_window_distributions(
         feature: {} for feature in features
     }
     for host_id, matrix in matrices.items():
-        window = matrix.week_range(start_week, end_week)
         for feature in distributions:
             distributions[feature][host_id] = _training_distribution(
-                window.series(feature), active_bins_only
+                matrix.series(feature).week_range(start_week, end_week), active_bins_only
             )
     return distributions
 
@@ -448,13 +423,21 @@ def _adapt_attack_builder(
         ) -> Optional[AttackTrace]:
             return builder(host_id, matrix, thresholds=thresholds)
 
-        return adapted_keyword
+        return _copy_batch_form(builder, adapted_keyword)
 
     def adapted(
         host_id: int, matrix: FeatureMatrix, thresholds: Mapping[Feature, float]
     ) -> Optional[AttackTrace]:
         return builder(host_id, matrix)
 
+    return _copy_batch_form(builder, adapted)
+
+
+def _copy_batch_form(builder, adapted):
+    """Carry a builder's vectorised batch form across the signature adapter."""
+    batch_fn = getattr(builder, "batch", None)
+    if batch_fn is not None:
+        adapted.batch = batch_fn
     return adapted
 
 
@@ -567,98 +550,383 @@ def measure_assignment(
 
     with trace_span("core.measure", num_hosts=len(matrices), test_week=week):
         add_count("core.host_weeks_measured", len(matrices))
-        performances: Dict[int, HostPerformance] = {}
-        for host_id, matrix in matrices.items():
-            thresholds = {
-                feature: assignment.for_feature(feature).threshold_of(host_id)
-                for feature in features
-            }
-            detectors = {
-                feature: ThresholdDetector(
-                    host_id=host_id, feature=feature, threshold=thresholds[feature]
-                )
-                for feature in features
-            }
-            test_matrix = matrix.week(week)
-            benign = {feature: test_matrix.series(feature) for feature in features}
-
-            feature_counts = {
-                feature: detectors[feature].alarm_count(benign[feature]) for feature in features
-            }
-            feature_fp = {
-                feature: detectors[feature].false_positive_rate(benign[feature])
-                for feature in features
-            }
-
-            feature_fn: Dict[Feature, float] = {feature: 0.0 for feature in features}
-            feature_alarm: Dict[Feature, Optional[bool]] = {
-                feature: None for feature in features
-            }
-            fused_fn = 0.0
-            alarm_raised: Optional[bool] = None
-            injections: Dict[Feature, InjectedSeries] = {}
-            if builder is not None:
-                if attack_assignment is None:
-                    attack_thresholds = thresholds
-                else:
-                    attack_thresholds = {
-                        feature: attack_assignment.for_feature(feature).threshold_of(host_id)
-                        for feature in features
-                    }
-                attack = builder(host_id, test_matrix, attack_thresholds)
-                if attack is not None:
-                    injections = _feature_injections(attack, benign)
-                    for feature, injected in injections.items():
-                        feature_fn[feature] = detectors[feature].false_negative_rate(
-                            benign[feature], injected.attack_amounts
-                        )
-                        if injected.num_attack_bins > 0:
-                            feature_alarm[feature] = feature_fn[feature] < 1.0
-                    if len(features) > 1:
-                        fused_fn, alarm_raised = _fused_false_negative_rate(
-                            features, fusion, thresholds, benign, injections
-                        )
-
-            if len(features) == 1:
-                # Bit-identical legacy path: the fused view of one feature IS the
-                # per-feature view (any fusion rule needs exactly 1 vote of 1).
-                only = features[0]
-                fused_point = OperatingPoint(
-                    false_positive_rate=feature_fp[only], false_negative_rate=feature_fn[only]
-                )
-                fused_count = feature_counts[only]
-                alarm_raised = feature_alarm[only]
-                fused_fn = feature_fn[only]
-            else:
-                benign_indicators = np.stack(
-                    [
-                        np.asarray(benign[feature].values) > thresholds[feature]
-                        for feature in features
-                    ]
-                )
-                fused_benign = fusion.fuse(benign_indicators)
-                fused_count = int(np.count_nonzero(fused_benign))
-                fused_point = OperatingPoint(
-                    false_positive_rate=float(fused_count) / benign[features[0]].num_bins,
-                    false_negative_rate=fused_fn,
-                )
-
-            performances[host_id] = HostPerformance(
-                host_id=host_id,
-                thresholds=thresholds,
-                feature_operating_points={
-                    feature: OperatingPoint(
-                        false_positive_rate=feature_fp[feature],
-                        false_negative_rate=feature_fn[feature],
-                    )
-                    for feature in features
-                },
-                feature_false_alarm_counts=feature_counts,
-                operating_point=fused_point,
-                false_alarm_count=fused_count,
-                alarm_raised=alarm_raised,
-                feature_alarm_raised=feature_alarm,
+        if _uniform_bin_grid(matrices):
+            return _measure_assignment_batched(
+                matrices, assignment, features, fusion, builder, week, attack_assignment
             )
+        return _measure_assignment_per_host(
+            matrices, assignment, features, fusion, builder, week, attack_assignment
+        )
+
+
+def _uniform_bin_grid(matrices: Mapping[int, FeatureMatrix]) -> bool:
+    """True when every host shares one bin grid (stackable into arrays)."""
+    iterator = iter(matrices.values())
+    first = next(iterator)
+    num_bins = first.num_bins
+    bin_width = first.bin_width
+    return all(
+        matrix.num_bins == num_bins and matrix.bin_width == bin_width for matrix in iterator
+    )
+
+
+def _week_slice_bounds(series: TimeSeries, week: int) -> Tuple[int, int]:
+    """The [first, last) bin indices :meth:`TimeSeries.week` would slice."""
+    spec = series.bin_spec
+    first = max(spec.index_of(week * WEEK), 0)
+    last = min(spec.index_of((week + 1) * WEEK - 1e-9) + 1, series.num_bins)
+    return first, last
+
+
+def _threshold_vector(assignment, feature: Feature, host_ids: Sequence[int]) -> np.ndarray:
+    """Per-host thresholds of ``feature`` as a ``(num_hosts,)`` vector."""
+    per_feature = assignment.for_feature(feature)
+    return np.array([per_feature.threshold_of(host_id) for host_id in host_ids], dtype=float)
+
+
+def _batched_attack_amounts(
+    builder: DetectionAttackBuilder,
+    host_ids: Sequence[int],
+    matrices: Mapping[int, FeatureMatrix],
+    features: Tuple[Feature, ...],
+    week: int,
+    bin_spec,
+    first: int,
+    last: int,
+    values: Dict[Feature, np.ndarray],
+    attack_thresholds: Mapping[Feature, np.ndarray],
+) -> Dict[Feature, np.ndarray]:
+    """Per-feature ``(num_hosts, num_bins)`` injected amounts for the batch.
+
+    Prefers the builder's vectorised batch form (see
+    :func:`repro.attacks.base.with_batch`); otherwise replays the per-host
+    protocol exactly — builder called once per host with its test-week matrix
+    and threshold mapping, amounts padded to the test window with the same
+    prefix-overlap and bin-width rules as :func:`inject_attack`.
+    """
+    num_bins = last - first
+    num_hosts = len(host_ids)
+    evaluated = set(features)
+
+    batch_fn = getattr(builder, "batch", None)
+    if batch_fn is not None:
+
+        def provider(feature: Feature) -> np.ndarray:
+            if feature in values:
+                return values[feature]
+            return np.stack(
+                [
+                    np.asarray(matrices[host_id].series(feature).values)[first:last]
+                    for host_id in host_ids
+                ]
+            )
+
+        batch = VictimBatch(
+            host_ids=host_ids,
+            bin_spec=bin_spec,
+            num_bins=num_bins,
+            thresholds=attack_thresholds,
+            values_provider=provider,
+        )
+        result = batch_fn(batch)
+        if result is not None:
+            amounts: Dict[Feature, np.ndarray] = {}
+            for feature, rows in result.items():
+                if feature not in evaluated:
+                    continue
+                rows = np.asarray(rows, dtype=float)
+                require(
+                    rows.shape == (num_hosts, num_bins),
+                    "batch attack amounts must be (num_hosts, num_bins)",
+                )
+                amounts[feature] = rows
+            return amounts
+
+    stacks: Dict[Feature, np.ndarray] = {}
+    for index, host_id in enumerate(host_ids):
+        test_matrix = matrices[host_id].week(week)
+        thresholds_here = {
+            feature: float(attack_thresholds[feature][index]) for feature in features
+        }
+        attack = builder(host_id, test_matrix, thresholds_here)
+        if attack is None:
+            continue
+        for feature in features:
+            if feature not in attack.features:
+                continue
+            require(
+                abs(bin_spec.width - attack.bin_spec.width) < 1e-9,
+                "attack and benign series must use the same bin width",
+            )
+            if feature not in stacks:
+                stacks[feature] = np.zeros((num_hosts, num_bins))
+            stacks[feature][index] = pad_attack_amounts(attack.amounts(feature), num_bins)
+    return stacks
+
+
+def _measure_assignment_batched(
+    matrices: Mapping[int, FeatureMatrix],
+    assignment,
+    features: Tuple[Feature, ...],
+    fusion: FusionRule,
+    builder: Optional[DetectionAttackBuilder],
+    week: int,
+    attack_assignment,
+) -> Dict[int, HostPerformance]:
+    """Vectorised measurement over one shared bin grid.
+
+    Every per-host quantity is computed as an array operation over
+    ``(num_hosts, num_bins)`` stacks; each row reproduces the per-host loop's
+    floats bit for bit (element-wise comparisons and additions are the same
+    scalar operations, just batched).
+    """
+    host_ids = list(matrices)
+    reference = matrices[host_ids[0]].series(features[0])
+    # Trigger the legacy out-of-range week validation once; the grid is
+    # uniform, so one host's validation covers them all.
+    reference.week(week)
+    first, last = _week_slice_bounds(reference, week)
+    num_bins = last - first
+    bin_spec = reference.bin_spec
+
+    values: Dict[Feature, np.ndarray] = {
+        feature: np.stack(
+            [np.asarray(matrices[host_id].series(feature).values)[first:last] for host_id in host_ids]
+        )
+        for feature in features
+    }
+    thresholds: Dict[Feature, np.ndarray] = {
+        feature: _threshold_vector(assignment, feature, host_ids) for feature in features
+    }
+    exceed: Dict[Feature, np.ndarray] = {
+        feature: values[feature] > thresholds[feature][:, None] for feature in features
+    }
+    counts: Dict[Feature, np.ndarray] = {
+        feature: np.count_nonzero(exceed[feature], axis=1) for feature in features
+    }
+
+    amounts: Dict[Feature, np.ndarray] = {}
+    if builder is not None:
+        if attack_assignment is None:
+            attack_thresholds = thresholds
+        else:
+            attack_thresholds = {
+                feature: _threshold_vector(attack_assignment, feature, host_ids)
+                for feature in features
+            }
+        amounts = _batched_attack_amounts(
+            builder,
+            host_ids,
+            matrices,
+            features,
+            week,
+            bin_spec,
+            first,
+            last,
+            values,
+            attack_thresholds,
+        )
+
+    attack_bin_counts: Dict[Feature, np.ndarray] = {}
+    missed_counts: Dict[Feature, np.ndarray] = {}
+    for feature, rows in amounts.items():
+        attacked = rows > 0
+        attack_bin_counts[feature] = np.count_nonzero(attacked, axis=1)
+        missed_counts[feature] = np.count_nonzero(
+            ((values[feature] + rows) <= thresholds[feature][:, None]) & attacked, axis=1
+        )
+
+    multi = len(features) > 1
+    if multi:
+        votes = np.zeros((len(host_ids), num_bins), dtype=np.int64)
+        for feature in features:
+            votes += exceed[feature]
+        required = fusion.required_votes(len(features))
+        fused_benign = votes >= required
+        fused_counts = np.count_nonzero(fused_benign, axis=1)
+        if amounts:
+            union = np.zeros((len(host_ids), num_bins), dtype=bool)
+            for rows in amounts.values():
+                union |= rows > 0
+            fused_attacked_bins = np.count_nonzero(union, axis=1)
+            attack_votes = np.zeros((len(host_ids), num_bins), dtype=np.int64)
+            for feature in features:
+                observed = (
+                    values[feature] + amounts[feature]
+                    if feature in amounts
+                    else values[feature]
+                )
+                attack_votes += observed > thresholds[feature][:, None]
+            fused_attack = attack_votes >= required
+            fused_missed = np.count_nonzero(~fused_attack & union, axis=1)
+
+    performances: Dict[int, HostPerformance] = {}
+    for index, host_id in enumerate(host_ids):
+        host_thresholds = {
+            feature: float(thresholds[feature][index]) for feature in features
+        }
+        feature_counts = {feature: int(counts[feature][index]) for feature in features}
+        feature_fp = {feature: feature_counts[feature] / num_bins for feature in features}
+        feature_fn: Dict[Feature, float] = {}
+        feature_alarm: Dict[Feature, Optional[bool]] = {}
+        for feature in features:
+            attacked_bins = (
+                int(attack_bin_counts[feature][index]) if feature in amounts else 0
+            )
+            if attacked_bins > 0:
+                fn = float(int(missed_counts[feature][index])) / attacked_bins
+                feature_fn[feature] = fn
+                feature_alarm[feature] = fn < 1.0
+            else:
+                feature_fn[feature] = 0.0
+                feature_alarm[feature] = None
+
+        if not multi:
+            only = features[0]
+            fused_point = OperatingPoint(
+                false_positive_rate=feature_fp[only], false_negative_rate=feature_fn[only]
+            )
+            fused_count = feature_counts[only]
+            alarm_raised = feature_alarm[only]
+        else:
+            fused_count = int(fused_counts[index])
+            fused_fn = 0.0
+            alarm_raised = None
+            if amounts:
+                attacked_bins = int(fused_attacked_bins[index])
+                if attacked_bins > 0:
+                    fused_fn = float(int(fused_missed[index])) / attacked_bins
+                    alarm_raised = fused_fn < 1.0
+            fused_point = OperatingPoint(
+                false_positive_rate=float(fused_count) / num_bins,
+                false_negative_rate=fused_fn,
+            )
+
+        performances[host_id] = HostPerformance(
+            host_id=host_id,
+            thresholds=host_thresholds,
+            feature_operating_points={
+                feature: OperatingPoint(
+                    false_positive_rate=feature_fp[feature],
+                    false_negative_rate=feature_fn[feature],
+                )
+                for feature in features
+            },
+            feature_false_alarm_counts=feature_counts,
+            operating_point=fused_point,
+            false_alarm_count=fused_count,
+            alarm_raised=alarm_raised,
+            feature_alarm_raised=feature_alarm,
+        )
+    return performances
+
+
+def _measure_assignment_per_host(
+    matrices: Mapping[int, FeatureMatrix],
+    assignment,
+    features: Tuple[Feature, ...],
+    fusion: FusionRule,
+    builder: Optional[DetectionAttackBuilder],
+    week: int,
+    attack_assignment,
+) -> Dict[int, HostPerformance]:
+    """The per-host reference measurement loop.
+
+    Fallback for populations whose hosts do not share a bin grid, and the
+    golden reference the batched path is regression-tested against.
+    """
+    performances: Dict[int, HostPerformance] = {}
+    for host_id, matrix in matrices.items():
+        thresholds = {
+            feature: assignment.for_feature(feature).threshold_of(host_id)
+            for feature in features
+        }
+        detectors = {
+            feature: ThresholdDetector(
+                host_id=host_id, feature=feature, threshold=thresholds[feature]
+            )
+            for feature in features
+        }
+        test_matrix = matrix.week(week)
+        benign = {feature: test_matrix.series(feature) for feature in features}
+
+        feature_counts = {
+            feature: detectors[feature].alarm_count(benign[feature]) for feature in features
+        }
+        feature_fp = {
+            feature: detectors[feature].false_positive_rate(benign[feature])
+            for feature in features
+        }
+
+        feature_fn: Dict[Feature, float] = {feature: 0.0 for feature in features}
+        feature_alarm: Dict[Feature, Optional[bool]] = {
+            feature: None for feature in features
+        }
+        fused_fn = 0.0
+        alarm_raised: Optional[bool] = None
+        injections: Dict[Feature, InjectedSeries] = {}
+        if builder is not None:
+            if attack_assignment is None:
+                attack_thresholds = thresholds
+            else:
+                attack_thresholds = {
+                    feature: attack_assignment.for_feature(feature).threshold_of(host_id)
+                    for feature in features
+                }
+            attack = builder(host_id, test_matrix, attack_thresholds)
+            if attack is not None:
+                injections = _feature_injections(attack, benign)
+                for feature, injected in injections.items():
+                    feature_fn[feature] = detectors[feature].false_negative_rate(
+                        benign[feature], injected.attack_amounts
+                    )
+                    if injected.num_attack_bins > 0:
+                        feature_alarm[feature] = feature_fn[feature] < 1.0
+                if len(features) > 1:
+                    fused_fn, alarm_raised = _fused_false_negative_rate(
+                        features, fusion, thresholds, benign, injections
+                    )
+
+        if len(features) == 1:
+            # Bit-identical legacy path: the fused view of one feature IS the
+            # per-feature view (any fusion rule needs exactly 1 vote of 1).
+            only = features[0]
+            fused_point = OperatingPoint(
+                false_positive_rate=feature_fp[only], false_negative_rate=feature_fn[only]
+            )
+            fused_count = feature_counts[only]
+            alarm_raised = feature_alarm[only]
+            fused_fn = feature_fn[only]
+        else:
+            benign_indicators = np.stack(
+                [
+                    np.asarray(benign[feature].values) > thresholds[feature]
+                    for feature in features
+                ]
+            )
+            fused_benign = fusion.fuse(benign_indicators)
+            fused_count = int(np.count_nonzero(fused_benign))
+            fused_point = OperatingPoint(
+                false_positive_rate=float(fused_count) / benign[features[0]].num_bins,
+                false_negative_rate=fused_fn,
+            )
+
+        performances[host_id] = HostPerformance(
+            host_id=host_id,
+            thresholds=thresholds,
+            feature_operating_points={
+                feature: OperatingPoint(
+                    false_positive_rate=feature_fp[feature],
+                    false_negative_rate=feature_fn[feature],
+                )
+                for feature in features
+            },
+            feature_false_alarm_counts=feature_counts,
+            operating_point=fused_point,
+            false_alarm_count=fused_count,
+            alarm_raised=alarm_raised,
+            feature_alarm_raised=feature_alarm,
+        )
     return performances
 
 
@@ -694,22 +962,3 @@ def _fused_false_negative_rate(
     missed = int(np.count_nonzero(~fused[union_mask]))
     fused_fn = float(missed) / num_attacked
     return fused_fn, fused_fn < 1.0
-
-
-def evaluate_policy_on_feature(
-    matrices: Mapping[int, FeatureMatrix],
-    policy: ConfigurationPolicy,
-    protocol: DetectionProtocol,
-    attack_builder: Optional[Union[AttackBuilder, DetectionAttackBuilder]] = None,
-) -> PolicyEvaluation:
-    """Deprecated: the single-feature name for :func:`evaluate_policy`.
-
-    Retained as a shim for pre-feature-set callers; evaluates identically to
-    :func:`evaluate_policy` (which accepts single- and multi-feature
-    protocols alike).
-    """
-    warn_deprecated(
-        "evaluate_policy_on_feature is deprecated; use evaluate_policy instead",
-        since="PR3",
-    )
-    return evaluate_policy(matrices, policy, protocol, attack_builder=attack_builder)

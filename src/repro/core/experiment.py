@@ -39,6 +39,7 @@ from repro.core.policies import (
     HomogeneousPolicy,
     PartialDiversityPolicy,
 )
+from repro.core.sampling import SampleSpec, bootstrap_mean_interval, sample_host_ids
 from repro.core.thresholds import ThresholdHeuristic
 from repro.features.definitions import Feature
 from repro.features.timeseries import FeatureMatrix
@@ -147,6 +148,13 @@ class ScenarioOutcome:
     (utility lost per week of configuration age; None when the age never
     varies), the full per-week ``timeline`` table, and the wall-clock spent
     (re)training.
+
+    The sampling fields record *which hosts* were evaluated.  Full-population
+    evaluations keep the defaults (``sample_size=0``, no interval).  Sampled
+    evaluations (see :mod:`repro.core.sampling`) carry the evaluated sample
+    size and its seed, plus the percentile-bootstrap confidence interval
+    around ``mean_utility`` — the headline metrics then *are* the sample
+    point estimates.
     """
 
     policy_name: str
@@ -174,6 +182,12 @@ class ScenarioOutcome:
     utility_decay_slope: Optional[float] = None
     timeline: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     training_cost_seconds: float = 0.0
+    sample_size: int = 0
+    sample_seed: int = 0
+    utility_ci_low: Optional[float] = None
+    utility_ci_high: Optional[float] = None
+    sample_confidence: float = 0.0
+    bootstrap_iterations: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "retrain_weeks", tuple(int(w) for w in self.retrain_weeks))
@@ -206,6 +220,12 @@ class ScenarioOutcome:
             "utility_decay_slope": self.utility_decay_slope,
             "timeline": {week: dict(values) for week, values in self.timeline.items()},
             "training_cost_seconds": self.training_cost_seconds,
+            "sample_size": self.sample_size,
+            "sample_seed": self.sample_seed,
+            "utility_ci_low": self.utility_ci_low,
+            "utility_ci_high": self.utility_ci_high,
+            "sample_confidence": self.sample_confidence,
+            "bootstrap_iterations": self.bootstrap_iterations,
         }
 
     @classmethod
@@ -245,7 +265,9 @@ def _aggregate_performances(
 
 
 def summarize_scenario(
-    evaluation: PolicyEvaluation, attack_prevalence: float = 0.01
+    evaluation: PolicyEvaluation,
+    attack_prevalence: float = 0.01,
+    sample: Optional[SampleSpec] = None,
 ) -> ScenarioOutcome:
     """Condense a :class:`PolicyEvaluation` into a :class:`ScenarioOutcome`.
 
@@ -255,6 +277,12 @@ def summarize_scenario(
     of hosts raising an alarm, distinct threshold count) come straight from
     the evaluation.  The headline numbers summarise the fused alarm; the
     ``per_feature`` table repeats them for every individual feature.
+
+    When ``sample`` is an enabled :class:`~repro.core.sampling.SampleSpec`
+    the evaluation covered a host subsample: the headline metrics become the
+    sample point estimates and the outcome additionally carries the
+    percentile-bootstrap confidence interval over the per-host fused
+    utilities (``utility_ci_low``/``utility_ci_high``).
     """
     performances = evaluation.performances.values()
     protocol = evaluation.protocol
@@ -290,6 +318,23 @@ def summarize_scenario(
         )
         per_feature[feature.value] = aggregates
     optimization = evaluation.optimization
+    sampling_fields: Dict[str, Any] = {}
+    if sample is not None and sample.enabled:
+        utilities = [
+            1.0 - (weight * perf.false_negative_rate + (1.0 - weight) * perf.false_positive_rate)
+            for perf in performances
+        ]
+        low, high = bootstrap_mean_interval(
+            utilities, sample.bootstrap, sample.confidence, sample.seed
+        )
+        sampling_fields = {
+            "sample_size": len(utilities),
+            "sample_seed": sample.seed,
+            "utility_ci_low": low,
+            "utility_ci_high": high,
+            "sample_confidence": sample.confidence,
+            "bootstrap_iterations": sample.bootstrap,
+        }
     return ScenarioOutcome(
         policy_name=evaluation.policy_name,
         feature="+".join(feature.value for feature in protocol.features),
@@ -309,6 +354,7 @@ def summarize_scenario(
         optimizer=optimization.optimizer if optimization is not None else "none",
         objective_value=optimization.objective_value if optimization is not None else None,
         optimizer_iterations=optimization.iterations if optimization is not None else 0,
+        **sampling_fields,
     )
 
 
@@ -318,17 +364,41 @@ def evaluate_scenario(
     protocol: DetectionProtocol,
     attack_builder: Optional[Union[AttackBuilder, DetectionAttackBuilder]] = None,
     attack_prevalence: float = 0.01,
+    sample: Optional[SampleSpec] = None,
 ) -> ScenarioOutcome:
     """Evaluate one policy on one population and return the scalar summary.
 
     This is the scenario-parameterised entry point the sweep runner (and any
     campaign driver) builds on: population in, one JSON-ready row of metrics
-    out.
+    out.  ``population`` may be a fully in-memory
+    :class:`~repro.workload.enterprise.EnterprisePopulation` or a
+    :class:`~repro.engine.ShardedPopulation` — any object exposing
+    ``host_ids`` and ``matrices()``.
+
+    An enabled ``sample`` evaluates a seeded host subsample instead of the
+    full population and adds a bootstrap confidence interval to the outcome.
+    On a sharded population only the shards holding sampled hosts are ever
+    loaded (via ``matrices_for``), so memory stays bounded however large the
+    population is.
     """
     evaluation = evaluate_policy(
-        population.matrices(), policy, protocol, attack_builder=attack_builder
+        _scenario_matrices(population, sample), policy, protocol, attack_builder=attack_builder
     )
-    return summarize_scenario(evaluation, attack_prevalence=attack_prevalence)
+    return summarize_scenario(evaluation, attack_prevalence=attack_prevalence, sample=sample)
+
+
+def _scenario_matrices(
+    population: EnterprisePopulation, sample: Optional[SampleSpec]
+) -> Dict[int, FeatureMatrix]:
+    """The matrices a scenario evaluates: the full population, or its sample."""
+    if sample is None or not sample.enabled:
+        return population.matrices()
+    chosen = sample_host_ids(population.host_ids, sample.size, sample.seed)
+    subset = getattr(population, "matrices_for", None)
+    if subset is not None:
+        return subset(chosen)
+    matrices = population.matrices()
+    return {host_id: matrices[host_id] for host_id in chosen}
 
 
 class PolicyComparison:

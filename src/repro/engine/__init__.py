@@ -30,6 +30,13 @@ from repro.engine.serialization import (
     read_population,
     write_population,
 )
+from repro.engine.sharded import (
+    DEFAULT_HOSTS_PER_SHARD,
+    DEFAULT_MAX_RESIDENT_SHARDS,
+    ShardedPopulation,
+    read_manifest,
+    write_population_sharded,
+)
 
 __all__ = [
     "PopulationEngine",
@@ -40,6 +47,11 @@ __all__ = [
     "resolve_cache_dir",
     "read_population",
     "write_population",
+    "ShardedPopulation",
+    "write_population_sharded",
+    "read_manifest",
+    "DEFAULT_HOSTS_PER_SHARD",
+    "DEFAULT_MAX_RESIDENT_SHARDS",
     "default_worker_count",
     "POPULATION_FORMAT_VERSION",
     "CACHE_DIR_ENV",

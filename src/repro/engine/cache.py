@@ -87,6 +87,13 @@ class PopulationCache:
         key = population_cache_key(config, roles)
         return self._directory / f"population-{key[:32]}.rpop"
 
+    def sharded_path_for(
+        self, config: EnterpriseConfig, roles: Optional[Mapping[int, UserRole]] = None
+    ) -> Path:
+        """The ``.rpopd`` directory a sharded population is stored under."""
+        key = population_cache_key(config, roles)
+        return self._directory / f"population-{key[:32]}.rpopd"
+
     def load(
         self, config: EnterpriseConfig, roles: Optional[Mapping[int, UserRole]] = None
     ) -> Optional[EnterprisePopulation]:
@@ -139,11 +146,22 @@ class PopulationCache:
         return path
 
     def clear(self) -> int:
-        """Delete every cached population; returns the number removed."""
+        """Delete every cached population; returns the number removed.
+
+        Counts one per population: a sharded ``.rpopd`` directory removes as
+        a single entry however many shard files it holds.
+        """
         if not self._directory.is_dir():
             return 0
         removed = 0
         for path in self._directory.glob("population-*.rpop"):
             path.unlink()
+            removed += 1
+        for directory in self._directory.glob("population-*.rpopd"):
+            if not directory.is_dir():
+                continue
+            for path in directory.iterdir():
+                path.unlink()
+            directory.rmdir()
             removed += 1
         return removed

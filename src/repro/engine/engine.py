@@ -306,6 +306,47 @@ class PopulationEngine:
             )
             return population
 
+    def generate_sharded(
+        self,
+        config: Optional[EnterpriseConfig] = None,
+        roles: Optional[Mapping[int, UserRole]] = None,
+        hosts_per_shard: Optional[int] = None,
+        max_resident_shards: Optional[int] = None,
+    ):
+        """Return a lazily resolved :class:`~repro.engine.sharded.ShardedPopulation`.
+
+        The scale-out entry point: nothing is generated up front.  Shards are
+        produced the first time an evaluation touches one of their hosts —
+        loaded zero-copy (``numpy.memmap``) from the cache's ``.rpopd``
+        directory when present, regenerated deterministically otherwise — and
+        at most ``max_resident_shards`` stay resident.  With caching enabled,
+        freshly generated shards are persisted so later runs mmap them
+        directly.
+        """
+        from repro.engine.sharded import (
+            DEFAULT_HOSTS_PER_SHARD,
+            DEFAULT_MAX_RESIDENT_SHARDS,
+            ShardedPopulation,
+        )
+
+        config = config if config is not None else EnterpriseConfig()
+        directory = (
+            self._cache.sharded_path_for(config, roles) if self._cache is not None else None
+        )
+        return ShardedPopulation.generate(
+            config,
+            directory=directory,
+            hosts_per_shard=(
+                hosts_per_shard if hosts_per_shard is not None else DEFAULT_HOSTS_PER_SHARD
+            ),
+            max_resident_shards=(
+                max_resident_shards
+                if max_resident_shards is not None
+                else DEFAULT_MAX_RESIDENT_SHARDS
+            ),
+            roles=roles,
+        )
+
     def _effective_workers(self, num_hosts: int) -> int:
         if num_hosts < self._min_parallel_hosts:
             return 1

@@ -28,8 +28,10 @@ from repro.workload.profiles import FeatureIntensity, HostProfile, UserRole
 
 _POPULATION_MAGIC = b"RPOP"
 #: Bump whenever the on-disk layout or the generation process changes in a
-#: way that invalidates cached populations.
-POPULATION_FORMAT_VERSION = 1
+#: way that invalidates cached populations.  Version 2 introduced the
+#: sharded ``.rpopd`` directory layout alongside the monolithic file (the
+#: bump retires monolithic caches written before the shard-aware reader).
+POPULATION_FORMAT_VERSION = 2
 
 # host_id, role index, is_laptop, master_intensity
 _HOST_STRUCT = struct.Struct("<IBBd")

@@ -68,13 +68,27 @@ class TimeSeries:
             return TimeSeries(result, self._bin_spec)
         return float(result)
 
+    @classmethod
+    def _wrap(cls, values: np.ndarray, bin_spec: BinSpec) -> "TimeSeries":
+        """Wrap an already-validated values array without re-checking it.
+
+        Only for internal use on slices/views of a validated series: a
+        contiguous slice of non-negative one-dimensional counts is itself
+        valid, and re-validating on every week slice dominates the hot
+        evaluation paths.
+        """
+        series = cls.__new__(cls)
+        series._values = values
+        series._bin_spec = bin_spec
+        return series
+
     # ------------------------------------------------------------ operations
     def slice_time(self, start: float, end: float) -> "TimeSeries":
         """Return the sub-series covering [start, end) in trace time."""
         require(end >= start, "end must be >= start")
         first = max(self._bin_spec.index_of(start), 0)
         last = min(self._bin_spec.index_of(end - 1e-9) + 1, self.num_bins)
-        return TimeSeries(self._values[first:last], self._bin_spec)
+        return TimeSeries._wrap(self._values[first:last], self._bin_spec)
 
     def week(self, index: int) -> "TimeSeries":
         """Return the series for week ``index`` (0-based).

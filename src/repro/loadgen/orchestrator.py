@@ -54,6 +54,12 @@ logger = logging.getLogger(__name__)
 #: Clock signature: a monotonically non-decreasing seconds counter.
 Clock = Callable[[], float]
 
+#: Populations at or above this host count are generated as lazy
+#: mmap-backed shards (see :class:`~repro.engine.ShardedPopulation`) instead
+#: of materialising every host up front — events then only realise the
+#: shards their skew-selected targets live in.
+SHARDED_POPULATION_THRESHOLD = 4096
+
 
 class LoadOrchestrator:
     """Executes load profiles against the batch engine and sweep runner.
@@ -276,11 +282,20 @@ class LoadOrchestrator:
 
     # -------------------------------------------------------------- populations
     def _population(self, event: LoadEvent) -> EnterprisePopulation:
-        """The event's population, generated once per distinct configuration."""
+        """The event's population, generated once per distinct configuration.
+
+        Configurations at or above :data:`SHARDED_POPULATION_THRESHOLD`
+        hosts come back as lazy :class:`~repro.engine.ShardedPopulation`
+        objects — "generation" only writes the manifest, and each shard
+        materialises the first time an event targets a host inside it.
+        """
         config = event.scenario.population.to_config()
         key = population_cache_key(config)
         if key not in self._populations:
-            self._populations[key] = self._engine.generate(config)
+            if config.num_hosts >= SHARDED_POPULATION_THRESHOLD:
+                self._populations[key] = self._engine.generate_sharded(config)
+            else:
+                self._populations[key] = self._engine.generate(config)
         return self._populations[key]
 
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.features.definitions import Feature
 from repro.features.timeseries import FeatureMatrix, TimeSeries
+from repro.core.sampling import SampleSpec
 from repro.loadgen.skew import HotKeySelector, ZipfSelector
 from repro.sweeps.spec import (
     AttackSpec,
@@ -227,11 +228,21 @@ def _phase_attack(phase: PhaseSpec, size: float, seed: int) -> AttackSpec:
 
 
 def _phase_evaluation(profile: "LoadProfile", phase: PhaseSpec, features) -> EvaluationSpec:
-    """The evaluation protocol (one-shot, or a retrain timeline for soak)."""
+    """The evaluation protocol (one-shot, or a retrain timeline for soak).
+
+    Burst phases run whole campaigns through the sweep runner, so they are
+    the one place the profile's ``sample_size`` applies: a sampled burst
+    evaluates a seeded host subsample (bounding memory at 10k+-host tiers)
+    instead of the full population.  Direct phases already bound their work
+    via ``host_fraction``, and soak timelines do not support sampling.
+    """
     schedule = ScheduleSpec()
     if phase.kind == "soak":
         schedule = ScheduleSpec(kind="drift-triggered", threshold=0.05, window_weeks=1)
-    return EvaluationSpec(features=tuple(features), schedule=schedule)
+    sample = SampleSpec()
+    if phase.kind == "burst" and profile.sample_size:
+        sample = SampleSpec(size=profile.sample_size, seed=profile.sample_seed)
+    return EvaluationSpec(features=tuple(features), schedule=schedule, sample=sample)
 
 
 def _ramp(phase: PhaseSpec, position: int) -> float:

@@ -11,9 +11,18 @@ Tier        Hosts   Weeks  Events  Intent
 `demo`        16      2      11    CI smoke: seconds, every phase kind hit
 `standard`    40      2      20    Laptop-scale regression runs
 `peak`        80      3      29    Pre-release: adds flash-crowd + soak
-`stress`     140      4      37    Scale ceiling before the batch engine hurts
-`soak`        80      4       3    Packaged drift+mimicry soak (peak scale)
+`stress`    12288      4      37    Scale ceiling: sharded mmap population,
+                                    sampled campaign evaluation
+`soak`      10240      4       3    Packaged drift+mimicry soak at sharded
+                                    scale
 ==========  ======  =====  ======  ==========================================
+
+The two large tiers ride the sharded-population machinery: populations at or
+above :data:`~repro.loadgen.orchestrator.SHARDED_POPULATION_THRESHOLD` hosts
+are generated as lazy mmap-backed shards, direct phases touch only the hosts
+their ``host_fraction`` selects, and burst campaigns evaluate a seeded
+``sample_size`` subsample with bootstrap confidence intervals — so memory
+stays bounded however many hosts the tier declares.
 
 Every profile validates that its declared ``total_events`` equals the sum of
 its phases' event counts — the invariant the hypothesis property in
@@ -64,6 +73,12 @@ class LoadProfile:
     soak_drift_kind:
         Drift composition layered on soak-phase populations
         ("+"-joined :data:`~repro.workload.drift.DRIFT_KINDS`).
+    sample_size, sample_seed:
+        Sampled campaign evaluation: when ``sample_size`` is positive, burst
+        phases evaluate a seeded host subsample of that size (with bootstrap
+        confidence intervals) instead of the full population — the knob that
+        keeps 10k+-host tiers memory- and latency-bounded.  ``0`` (the
+        default) keeps the exhaustive evaluation.
     total_events:
         Declared event budget; must equal the sum over ``phases``.
     phases:
@@ -85,6 +100,8 @@ class LoadProfile:
     hot_feature_probability: float = 0.8
     features_per_event: int = 2
     soak_drift_kind: str = "seasonal+flash-crowd"
+    sample_size: int = 0
+    sample_seed: int = 7
 
     def __post_init__(self) -> None:
         require(bool(self.name), "profile name must be non-empty")
@@ -126,6 +143,12 @@ class LoadProfile:
                 kind.strip() in DRIFT_KINDS,
                 f"soak_drift_kind components must be among {list(DRIFT_KINDS)}",
             )
+        require(self.sample_size >= 0, "sample_size must be non-negative")
+        require(
+            self.sample_size < self.num_hosts,
+            "sample_size must be smaller than the population "
+            "(0 disables sampling and evaluates every host)",
+        )
         for phase in self.phases:
             if phase.kind == "soak":
                 require(
@@ -155,6 +178,8 @@ class LoadProfile:
             "hot_feature_probability": self.hot_feature_probability,
             "features_per_event": self.features_per_event,
             "soak_drift_kind": self.soak_drift_kind,
+            "sample_size": self.sample_size,
+            "sample_seed": self.sample_seed,
             "total_events": self.total_events,
             "phases": [phase.to_dict() for phase in self.phases],
         }
@@ -184,20 +209,22 @@ def _flash_crowd(num_events: int, host_fraction: float = 0.5) -> PhaseSpec:
     )
 
 
-def _failure(num_events: int) -> PhaseSpec:
+def _failure(num_events: int, host_fraction: float = 0.75) -> PhaseSpec:
     return PhaseSpec(
         name="failure-injection",
         kind="failure-injection",
         num_events=num_events,
-        host_fraction=0.75,
+        host_fraction=host_fraction,
         drop_fraction=0.2,
         corrupt_fraction=0.2,
         corrupt_bins_fraction=0.25,
     )
 
 
-def _soak() -> PhaseSpec:
-    return PhaseSpec(name="soak", kind="soak", num_events=1)
+def _soak(host_fraction: float = 1.0) -> PhaseSpec:
+    return PhaseSpec(
+        name="soak", kind="soak", num_events=1, host_fraction=host_fraction
+    )
 
 
 #: The packaged workload tiers, keyed by name.
@@ -228,20 +255,29 @@ PROFILES: Dict[str, LoadProfile] = {
     ),
     "stress": LoadProfile(
         name="stress",
-        description="Scale ceiling: the largest population the batch path should absorb",
-        num_hosts=140,
+        description="Scale ceiling: 12k-host sharded population, sampled campaign "
+        "evaluation with bootstrap confidence intervals",
+        num_hosts=12288,
         num_weeks=4,
-        phases=(_ramp(10), _burst(12), _flash_crowd(8), _failure(6), _soak()),
+        phases=(
+            _ramp(10, host_fraction=0.02),
+            _burst(12),
+            _flash_crowd(8, host_fraction=0.02),
+            _failure(6, host_fraction=0.04),
+            _soak(host_fraction=0.02),
+        ),
         total_events=37,
+        sample_size=256,
     ),
     "soak": LoadProfile(
         name="soak",
         description="Packaged soak: seasonal+flash-crowd drift with schedule-tracking "
-        "mimicry at peak scale",
-        num_hosts=80,
+        "mimicry on a 10k-host sharded population",
+        num_hosts=10240,
         num_weeks=4,
-        phases=(_flash_crowd(2, host_fraction=0.4), _soak()),
+        phases=(_flash_crowd(2, host_fraction=0.02), _soak(host_fraction=0.02)),
         total_events=3,
+        sample_size=256,
     ),
 }
 

@@ -18,6 +18,7 @@ into "run arbitrary detection campaigns at scale":
   (policy grid, attack intensity, enterprise scaling, storm replay).
 """
 
+from repro.core.sampling import SampleSpec
 from repro.sweeps.catalog import builtin_sweep_names, builtin_sweeps, load_builtin
 from repro.sweeps.results import (
     RESULT_SCHEMA_VERSION,
@@ -79,6 +80,7 @@ __all__ = [
     "OptimizerSpec",
     "DriftSpec",
     "ScheduleSpec",
+    "SampleSpec",
     "POLICY_KINDS",
     "HEURISTIC_KINDS",
     "ATTACK_KINDS",

@@ -161,11 +161,18 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             if outcome.optimizer != "none" and outcome.objective_value is not None
             else ""
         )
+        sampled = (
+            f" ci{outcome.sample_confidence:.0%}="
+            f"[{outcome.utility_ci_low:.4f}, {outcome.utility_ci_high:.4f}] "
+            f"(n={outcome.sample_size})"
+            if outcome.sample_size
+            else ""
+        )
         print(
             f"  [{completed:>{len(str(total))}}/{total}] {result.scenario.name}: "
             f"utility={outcome.mean_utility:.4f} "
             f"f-measure={outcome.mean_f_measure:.4f} "
-            f"alarms={outcome.total_false_alarms}{fused}{optimized} "
+            f"alarms={outcome.total_false_alarms}{fused}{optimized}{sampled} "
             f"({result.duration_seconds:.2f}s"
             f"{', population reused' if result.population_reused else ''})"
         )
@@ -239,6 +246,10 @@ def _cmd_sweep_report(args: argparse.Namespace) -> int:
         return 0
     metrics = args.metrics if args.metrics else list(HEADLINE_METRICS)
     print(comparison_table(records, metrics=metrics))
+    sampled = [record for record in records if record.metrics.get("sample_size")]
+    if sampled:
+        print()
+        print(_sampled_table(sampled))
     # Per-scenario timing records carry population provenance: surface how
     # effective the engine cache / population dedup was across the store.
     timed = [record for record in records if "population_reused" in record.timing]
@@ -246,6 +257,34 @@ def _cmd_sweep_report(args: argparse.Namespace) -> int:
         reused = sum(1 for record in timed if record.timing["population_reused"])
         print(_cache_effectiveness_line(reused, len(timed) - reused))
     return 0
+
+
+def _sampled_table(records) -> str:
+    """Bootstrap confidence intervals for every sampled-evaluation record."""
+    from repro.experiments.report import render_table
+
+    headers = ["scenario", "sampled hosts", "mean_utility", "confidence interval"]
+    rows = []
+    for record in records:
+        metrics = record.metrics
+        low = metrics.get("utility_ci_low")
+        high = metrics.get("utility_ci_high")
+        interval = (
+            f"[{low:.4f}, {high:.4f}] @ {metrics.get('sample_confidence', 0.0):.0%}"
+            if low is not None and high is not None
+            else "-"
+        )
+        rows.append(
+            [
+                record.scenario,
+                metrics.get("sample_size", 0),
+                metrics.get("mean_utility", "-"),
+                interval,
+            ]
+        )
+    return render_table(
+        headers, rows, title="Sampled evaluation — bootstrap confidence intervals"
+    )
 
 
 def _cmd_timeline(args: argparse.Namespace) -> int:

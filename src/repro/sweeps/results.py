@@ -35,11 +35,16 @@ from repro.utils.validation import ValidationError, require
 #: ``num_timeline_weeks``, ``retrain_count``/``retrain_weeks``,
 #: ``utility_decay_slope``, the per-week ``timeline`` table and
 #: ``training_cost_seconds`` record *when* thresholds were selected, and the
-#: spec carries ``evaluation.schedule`` plus ``population.drift``).  Older
-#: records are still readable — missing optimizer fields read as
-#: heuristic-only selection (``"none"``), missing temporal fields as the
-#: classic one-shot evaluation.
-RESULT_SCHEMA_VERSION = 4
+#: spec carries ``evaluation.schedule`` plus ``population.drift``); 5 =
+#: sampled evaluation (``sample_size``, ``sample_seed``,
+#: ``utility_ci_low``/``utility_ci_high``, ``sample_confidence`` and
+#: ``bootstrap_iterations`` record *which hosts* were evaluated and the
+#: bootstrap interval around the sampled utility estimate, and the spec
+#: carries ``evaluation.sample``).  Older records are still readable —
+#: missing optimizer fields read as heuristic-only selection (``"none"``),
+#: missing temporal fields as the classic one-shot evaluation, missing
+#: sampling fields as a full-population evaluation.
+RESULT_SCHEMA_VERSION = 5
 
 PathLike = Union[str, Path]
 

@@ -33,7 +33,6 @@ from repro.engine import EngineStats, PopulationEngine, population_cache_key
 from repro.sweeps.results import ResultStore, ScenarioRecord
 from repro.sweeps.spec import ScenarioSpec, SweepSpec, scenario_spec_hash
 from repro.telemetry import add_count, child_recorder, get_recorder, monotonic_now, trace_span
-from repro.utils.deprecation import warn_deprecated
 from repro.utils.validation import require
 from repro.workload.enterprise import EnterprisePopulation
 
@@ -114,6 +113,10 @@ def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> Scenar
     ``never``/``every-k-weeks``/``drift-triggered``) run
     :func:`~repro.temporal.evaluate_timeline` over every remaining
     population week and store the aggregated staleness outcome.
+
+    ``population`` may also be a :class:`~repro.engine.ShardedPopulation`:
+    with an enabled ``evaluation.sample`` only the shards holding sampled
+    hosts are ever loaded.
     """
     components = scenario_components(spec, population.config.bin_width)
     protocol = components.protocol
@@ -133,6 +136,7 @@ def run_scenario(spec: ScenarioSpec, population: EnterprisePopulation) -> Scenar
         protocol,
         attack_builder=attack_builder,
         attack_prevalence=spec.evaluation.attack_prevalence,
+        sample=spec.evaluation.sample,
     )
 
 
@@ -150,7 +154,13 @@ def _evaluate_scenario_task(
     spec = ScenarioSpec.from_dict(payload)
     with child_recorder() as recorder, trace_span("sweeps.scenario", scenario=spec.name):
         engine = PopulationEngine(workers=1, cache_dir=cache_dir)
-        population = engine.generate(spec.population.to_config())
+        config = spec.population.to_config()
+        if spec.evaluation.sample.enabled:
+            # Sampled scenarios open the shared .rpopd directory and only
+            # load (or generate) the shards their sample touches.
+            population = engine.generate_sharded(config)
+        else:
+            population = engine.generate(config)
         outcome = run_scenario(spec, population)
         add_count("sweeps.scenarios_evaluated")
     return outcome.to_dict(), monotonic_now() - started, recorder.snapshot()
@@ -261,7 +271,6 @@ class SweepRunner:
         run_id: str = "",
         scenarios: Optional[List[ScenarioSpec]] = None,
         skip_existing: bool = True,
-        timing: Optional[Callable[["ScenarioResult"], None]] = None,
     ) -> SweepRunResult:
         """Execute every scenario of ``sweep``; returns results in sweep order.
 
@@ -278,21 +287,10 @@ class SweepRunner:
         ``skip_existing=False`` (the CLI's ``--rerun``) to force
         re-evaluation.
 
-        ``timing`` is the deprecated per-scenario instrumentation hook: it
-        still receives every :class:`ScenarioResult` the moment it finishes
-        (after the store append, before ``progress``), but new callers should
-        subscribe to ``sweeps.scenario`` span ends on a telemetry recorder
-        (see :mod:`repro.telemetry`) instead — that is where the load
-        orchestrator now gets its latency samples.  Passing it emits a
-        :class:`~repro.utils.deprecation.ReproDeprecationWarning`.
+        Per-scenario instrumentation subscribes to ``sweeps.scenario`` span
+        ends on a telemetry recorder (see :mod:`repro.telemetry`) — that is
+        where the load orchestrator gets its latency samples.
         """
-        if timing is not None:
-            warn_deprecated(
-                "SweepRunner.run(timing=...) is deprecated; subscribe to "
-                "'sweeps.scenario' span ends on a telemetry recorder instead "
-                "(see repro.telemetry)",
-                since="PR7",
-            )
         started = monotonic_now()
         scenarios = list(scenarios) if scenarios is not None else sweep.expand()
         skipped: Tuple[str, ...] = ()
@@ -305,8 +303,6 @@ class SweepRunner:
         def on_finished(completed: int, total: int, result: ScenarioResult) -> None:
             if store is not None:
                 store.append(result.to_record(sweep.name, run_id=run_id))
-            if timing is not None:
-                timing(result)
             if progress is not None:
                 progress(completed, total, result)
 
@@ -364,18 +360,34 @@ class SweepRunner:
         return kept, tuple(skipped)
     def _generate_distinct_populations(
         self, scenarios: List[ScenarioSpec]
-    ) -> Tuple[Dict[str, EnterprisePopulation], Dict[str, str]]:
+    ) -> Tuple[Dict[str, Any], Dict[str, str]]:
         """One engine generation per distinct population configuration.
 
         Returns the populations keyed by content hash, plus the name of the
         first scenario to use each key (later users are "reusers").
+
+        A configuration used *only* by sampled scenarios is produced as a
+        lazy :class:`~repro.engine.ShardedPopulation` — shards materialise
+        on demand when the samples touch them, so arbitrarily large
+        populations never fully occupy memory.  As soon as any scenario
+        needs the full host set, the classic in-memory generation is used.
         """
-        populations: Dict[str, EnterprisePopulation] = {}
+        sampled_only: Dict[str, bool] = {}
+        for scenario in scenarios:
+            key = population_cache_key(scenario.population.to_config())
+            sampled_only[key] = (
+                sampled_only.get(key, True) and scenario.evaluation.sample.enabled
+            )
+        populations: Dict[str, Any] = {}
         first_use: Dict[str, str] = {}
         for scenario in scenarios:
             key = population_cache_key(scenario.population.to_config())
             if key not in populations:
-                populations[key] = self._engine.generate(scenario.population.to_config())
+                config = scenario.population.to_config()
+                if sampled_only[key]:
+                    populations[key] = self._engine.generate_sharded(config)
+                else:
+                    populations[key] = self._engine.generate(config)
                 first_use[key] = scenario.name
         return populations, first_use
 
@@ -387,7 +399,7 @@ class SweepRunner:
     def _evaluate(
         self,
         scenarios: List[ScenarioSpec],
-        populations: Dict[str, EnterprisePopulation],
+        populations: Dict[str, Any],
         first_use: Dict[str, str],
         progress: Optional[ProgressCallback],
     ) -> List[ScenarioResult]:
@@ -408,7 +420,7 @@ class SweepRunner:
     def _evaluate_serial(
         self,
         scenarios: List[ScenarioSpec],
-        populations: Dict[str, EnterprisePopulation],
+        populations: Dict[str, Any],
         reused: List[bool],
         progress: Optional[ProgressCallback],
         total: int,

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.fusion import FUSION_RULES, FusionRule
+from repro.core.sampling import SampleSpec
 from repro.features.definitions import Feature
 from repro.sweeps import toml_io
 from repro.utils.validation import ValidationError, require
@@ -348,6 +349,7 @@ class AttackSpec:
         if self.kind == "none":
             return None
         if self.kind == "naive":
+            from repro.attacks.base import with_batch
             from repro.attacks.naive import NaiveAttacker
 
             attacker = NaiveAttacker(
@@ -359,9 +361,16 @@ class AttackSpec:
             def build_naive(host_id: int, matrix, thresholds):
                 return attacker.build(matrix, np.random.default_rng((self.seed, host_id)))
 
-            return build_naive
+            def batch_naive(batch):
+                rows = attacker.batch_amounts(
+                    batch, lambda host_id: np.random.default_rng((self.seed, host_id))
+                )
+                return {attacker.feature: rows}
+
+            return with_batch(build_naive, batch_naive)
         if self.kind in ("mimicry", "mimicry-vs-schedule"):
-            from repro.attacks.mimicry import MimicryAttacker
+            from repro.attacks.base import with_batch
+            from repro.attacks.mimicry import MimicryAttacker, batch_hidden_traffic
 
             target = self.target_feature(primary_feature)
 
@@ -375,6 +384,14 @@ class AttackSpec:
                 )
                 return attacker.build(matrix, np.random.default_rng((self.seed, host_id)))
 
+            def batch_mimicry(batch):
+                hidden = batch_hidden_traffic(
+                    batch.values(target),
+                    batch.thresholds[target],
+                    self.evasion_probability,
+                )
+                return {target: np.repeat(hidden[:, None], batch.num_bins, axis=1)}
+
             # On a timeline, plain mimicry keeps evading the thresholds it
             # profiled at the initial deployment; the schedule-tracking
             # variant re-profiles and evades whatever is in force on the
@@ -382,10 +399,12 @@ class AttackSpec:
             # One-shot evaluations have a single deployment, so the two
             # kinds coincide there.
             build_mimicry.tracks_schedule = self.kind == "mimicry-vs-schedule"
-            return build_mimicry
+            return with_batch(build_mimicry, batch_mimicry)
         if self.kind == "botnet":
             return self._build_botnet_builder(primary_feature)
 
+        from repro.attacks.base import with_batch
+        from repro.attacks.injection import pad_attack_amounts
         from repro.attacks.storm import generate_storm_trace
         from repro.utils.timeutils import WEEK
 
@@ -395,16 +414,28 @@ class AttackSpec:
         def build_storm(host_id: int, matrix, thresholds):
             return storm
 
-        return build_storm
+        def batch_storm(batch):
+            if abs(storm.bin_spec.width - batch.bin_spec.width) >= 1e-9:
+                return None  # fall back so the per-host path raises its usual error
+            return {
+                feature: np.tile(
+                    pad_attack_amounts(storm.amounts(feature), batch.num_bins),
+                    (batch.num_hosts, 1),
+                )
+                for feature in storm.features
+            }
+
+        return with_batch(build_storm, batch_storm)
 
     def _build_botnet_builder(
         self, primary_feature: Feature
     ) -> Callable[[int, Any, Mapping[Feature, float]], Any]:
-        from repro.attacks.base import AttackTrace, FeatureInjection
+        from repro.attacks.base import AttackTrace, FeatureInjection, with_batch
         from repro.attacks.botnet import CommandAndControl
 
         campaign_feature = self.target_feature(primary_feature)
         control_feature = CommandAndControl(self.command_and_control).control_feature
+        with_control = control_feature != campaign_feature and self.control_size > 0.0
 
         def build_botnet(host_id: int, matrix, thresholds):
             rng = np.random.default_rng((self.seed, host_id))
@@ -419,7 +450,7 @@ class AttackSpec:
             injections = {
                 campaign_feature: FeatureInjection(feature=campaign_feature, amounts=amounts)
             }
-            if control_feature != campaign_feature and self.control_size > 0.0:
+            if with_control:
                 injections[control_feature] = FeatureInjection(
                     feature=control_feature,
                     amounts=np.full(num_bins, float(self.control_size)),
@@ -430,7 +461,30 @@ class AttackSpec:
                 bin_spec=matrix.series(campaign_feature).bin_spec,
             )
 
-        return build_botnet
+        def batch_botnet(batch):
+            # Per-host draws replayed in host order from each host's own
+            # generator — recruitment first, then the activity mask — exactly
+            # as build_botnet does, so the batch is bit-identical.
+            num_bins = batch.num_bins
+            campaign = np.zeros((batch.num_hosts, num_bins))
+            control = np.zeros((batch.num_hosts, num_bins)) if with_control else None
+            for index, host_id in enumerate(batch.host_ids):
+                rng = np.random.default_rng((self.seed, host_id))
+                if rng.uniform() >= self.compromise_probability:
+                    continue
+                amounts = np.full(num_bins, float(self.size))
+                if self.active_fraction < 1.0:
+                    active = rng.uniform(size=num_bins) < self.active_fraction
+                    amounts = np.where(active, amounts, 0.0)
+                campaign[index] = amounts
+                if control is not None:
+                    control[index] = float(self.control_size)
+            result = {campaign_feature: campaign}
+            if control is not None:
+                result[control_feature] = control
+            return result
+
+        return with_batch(build_botnet, batch_botnet)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -666,6 +720,12 @@ class EvaluationSpec:
     kinds evaluate every remaining population week under a
     :class:`~repro.temporal.RetrainSchedule`, sweepable as
     ``evaluation.schedule.*`` axes.
+
+    ``sample`` selects *which hosts* are evaluated (see
+    :class:`~repro.core.sampling.SampleSpec`): disabled by default (the full
+    population, bit-identical to before), a positive ``sample.size``
+    evaluates a seeded host subsample and reports bootstrap confidence
+    intervals, sweepable as ``evaluation.sample.*`` axes.
     """
 
     feature: str = Feature.TCP_CONNECTIONS.value
@@ -673,6 +733,7 @@ class EvaluationSpec:
     fusion: FusionSpec = field(default_factory=FusionSpec)
     optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
     schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
+    sample: SampleSpec = field(default_factory=SampleSpec)
     train_week: int = 0
     test_week: int = 1
     utility_weight: float = 0.4
@@ -699,6 +760,7 @@ class EvaluationSpec:
             "fusion": self.fusion.to_dict(),
             "optimizer": self.optimizer.to_dict(),
             "schedule": self.schedule.to_dict(),
+            "sample": self.sample.to_dict(),
             "train_week": self.train_week,
             "test_week": self.test_week,
             "utility_weight": self.utility_weight,
@@ -714,6 +776,7 @@ class EvaluationSpec:
             "fusion",
             "optimizer",
             "schedule",
+            "sample",
             "train_week",
             "test_week",
             "utility_weight",
@@ -736,6 +799,7 @@ class EvaluationSpec:
             fusion=FusionSpec.from_dict(data.get("fusion", {})),
             optimizer=OptimizerSpec.from_dict(data.get("optimizer", {})),
             schedule=ScheduleSpec.from_dict(data.get("schedule", {})),
+            sample=SampleSpec.from_dict(data.get("sample", {})),
             train_week=int(data.get("train_week", 0)),
             test_week=int(data.get("test_week", 1)),
             utility_weight=float(data.get("utility_weight", 0.4)),
@@ -796,6 +860,12 @@ class ScenarioSpec:
                 schedule.window_weeks <= weeks - 1,
                 f"scenario {self.name!r}: schedule window of {schedule.window_weeks} "
                 f"week(s) cannot fit in {weeks} population week(s)",
+            )
+            require(
+                not self.evaluation.sample.enabled,
+                f"scenario {self.name!r}: sampled evaluation supports one-shot "
+                f"schedules only (timeline aggregation over a host subsample is "
+                f"not defined yet)",
             )
         fusion = self.evaluation.fusion
         if fusion.rule == "k_of_n":
@@ -1022,7 +1092,20 @@ def scenario_spec_hash(spec: Union["ScenarioSpec", Mapping[str, Any]]) -> str:
     Computed over the canonical JSON of the spec dict, so a
     :class:`ScenarioSpec` hashes identically to its stored-record ``spec``
     payload — the key the sweep-level result cache matches on.
+
+    A *disabled* ``evaluation.sample`` section is dropped before hashing:
+    scenarios that do not sample evaluate bit-identically to records written
+    before the sampling fields existed (schema < 5), so their stored results
+    must keep matching.
     """
     payload = spec.to_dict() if isinstance(spec, ScenarioSpec) else dict(spec)
+    evaluation = payload.get("evaluation")
+    if isinstance(evaluation, Mapping):
+        sample = evaluation.get("sample")
+        if isinstance(sample, Mapping) and not int(sample.get("size", 0)):
+            payload = dict(
+                payload,
+                evaluation={key: value for key, value in evaluation.items() if key != "sample"},
+            )
     blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

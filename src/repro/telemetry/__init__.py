@@ -53,6 +53,8 @@ SPAN_NAMES = (
     "engine.cache.write",
     "engine.generate",
     "engine.generate_chunk",
+    "engine.shard.generate",
+    "engine.shard.load",
     "loadgen.event",
     "loadgen.phase",
     "loadgen.populations",
@@ -74,6 +76,7 @@ COUNTER_NAMES = (
     "engine.cache.misses",
     "engine.hosts_generated",
     "engine.populations_generated",
+    "engine.shards_loaded",
     "optimize.assignments",
     "optimize.iterations",
     "sweeps.scenarios_evaluated",

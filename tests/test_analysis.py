@@ -360,10 +360,12 @@ class TestShippedTree:
         for finding in result.suppressed:
             assert finding.suppression_reason.strip()
 
-    def test_shipped_shim_inventory_is_fully_stamped(self):
+    def test_shipped_tree_carries_no_deprecation_shims(self):
+        # The PR3/PR7 shims (EvaluationProtocol, evaluate_policy_on_feature,
+        # SweepRunner.run(timing=...)) were removed after their deprecation
+        # window; the shipped tree must stay shim-free.
         inventory = LintEngine().run(SRC_TREE).inventory["deprecation_shims"]
-        assert inventory, "expected the PR3/PR7 shims to be inventoried"
-        assert all(shim["since"] for shim in inventory)
+        assert inventory == []
 
     def test_unseeded_randomness_fails_the_tree(self, tmp_path, capsys):
         tree = copy_src_tree(tmp_path)

@@ -12,6 +12,8 @@ import importlib.util
 import json
 from pathlib import Path
 
+import pytest
+
 REPO = Path(__file__).resolve().parents[1]
 SCRIPTS = REPO / "scripts"
 SEED_BENCH = REPO / "BENCH_20260727_seed.json"
@@ -31,6 +33,7 @@ check_cooptimization = load_script("ci_checks/check_cooptimization.py")
 check_timeline = load_script("ci_checks/check_timeline.py")
 check_result_cache = load_script("ci_checks/check_result_cache.py")
 check_lint_report = load_script("ci_checks/check_lint_report.py")
+check_scaleout = load_script("ci_checks/check_scaleout.py")
 
 
 def bench_payload(medians, machine_info=None):
@@ -58,15 +61,15 @@ class TestBenchCompare:
         assert len(rows) == 3
 
     def test_two_x_slowdown_fails(self):
-        baseline = {"hot_a": 1.0}
-        fresh = {"hot_a": 2.5}
+        baseline = {"hot_a": 1.0, "hot_b": 1.0}
+        fresh = {"hot_a": 2.5, "hot_b": 1.0}
         _, failures = bench_compare.compare(fresh, baseline, self.HOT, 2.0)
         assert len(failures) == 1
         assert "regressed 2.50x" in failures[0]
 
     def test_slowdown_on_cold_benchmark_does_not_fail(self):
-        baseline = {"hot_a": 1.0, "cold": 1.0}
-        fresh = {"hot_a": 1.0, "cold": 10.0}
+        baseline = {"hot_a": 1.0, "hot_b": 1.0, "cold": 1.0}
+        fresh = {"hot_a": 1.0, "hot_b": 1.0, "cold": 10.0}
         _, failures = bench_compare.compare(fresh, baseline, self.HOT, 2.0)
         assert failures == []
 
@@ -75,10 +78,34 @@ class TestBenchCompare:
         _, failures = bench_compare.compare({}, baseline, self.HOT, 2.0)
         assert any("missing from the fresh" in failure for failure in failures)
 
-    def test_hot_path_absent_from_both_sides_is_skipped(self):
+    def test_hot_path_absent_from_both_sides_fails(self):
         rows, failures = bench_compare.compare({}, {}, self.HOT, 2.0)
+        assert len(failures) == len(self.HOT)
+        assert all("BENCHMARK_ALIASES" in failure for failure in failures)
+        assert all("ABSENT from both sides" in status for _, status, _ in rows)
+
+    def test_alias_rekeys_renamed_baseline_entry(self):
+        baseline = bench_compare.apply_aliases(
+            {"old_name": 1.0, "other": 2.0}, {"old_name": "new_name"}
+        )
+        assert baseline == {"new_name": 1.0, "other": 2.0}
+        _, failures = bench_compare.compare(
+            {"new_name": 1.5, "other": 2.0}, baseline, ("new_name",), 2.0
+        )
         assert failures == []
-        assert all("absent from both sides" in status for _, status, _ in rows)
+
+    def test_alias_defers_to_regenerated_baseline(self):
+        baseline = bench_compare.apply_aliases(
+            {"old_name": 9.0, "new_name": 1.0}, {"old_name": "new_name"}
+        )
+        assert baseline == {"old_name": 9.0, "new_name": 1.0}
+
+    def test_geomean_speedup_over_shared_benchmarks(self):
+        fresh = {"a": 1.0, "b": 1.0, "fresh_only": 5.0}
+        baseline = {"a": 4.0, "b": 1.0, "base_only": 5.0}
+        speedup = bench_compare.geomean_speedup(fresh, baseline)
+        assert speedup == pytest.approx(2.0)
+        assert bench_compare.geomean_speedup({"a": 1.0}, {"b": 1.0}) is None
 
     def test_new_hot_path_without_baseline_is_skipped(self):
         rows, failures = bench_compare.compare({"hot_a": 5.0}, {}, ("hot_a",), 2.0)
@@ -100,9 +127,24 @@ class TestBenchCompare:
         assert "different machines" in caveats[0]
 
     def test_main_seed_vs_seed_passes(self, capsys):
-        code = bench_compare.main([str(SEED_BENCH), "--baseline", str(SEED_BENCH)])
+        # The seed payload predates the sweep-throughput hot path, so pin
+        # the gate to hot paths the seed actually records.
+        code = bench_compare.main(
+            [
+                str(SEED_BENCH),
+                "--baseline",
+                str(SEED_BENCH),
+                "--hot-path",
+                "test_bench_fig4_attacker_effectiveness",
+                "--hot-path",
+                "test_bench_fig3_utility_comparison",
+            ]
+        )
         assert code == 0
-        assert "gate passed" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "gate passed" in out
+        assert "geomean speedup" in out
+        assert "1.00x" in out
 
     def test_main_synthetic_two_x_slowdown_exits_nonzero(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"
@@ -491,3 +533,67 @@ class TestCheckLintReport:
         assert code == 0
         assert check_lint_report.main([str(report_path)]) == 0
         capsys.readouterr()
+
+
+# ------------------------------------------------------------- check_scaleout
+class TestCheckScaleout:
+    def _outcome(self, **overrides):
+        from repro.core.experiment import ScenarioOutcome
+
+        fields = dict(
+            policy_name="partial-diversity",
+            feature="num_tcp_connections",
+            num_hosts=8,
+            mean_utility=0.6,
+            median_utility=0.6,
+            mean_false_positive_rate=0.01,
+            mean_false_negative_rate=0.1,
+            mean_detection_rate=0.9,
+            mean_f_measure=0.9,
+            total_false_alarms=1,
+            fraction_raising_alarm=0.1,
+            distinct_thresholds=2,
+            sample_size=8,
+            sample_seed=7,
+            utility_ci_low=0.55,
+            utility_ci_high=0.65,
+            sample_confidence=0.95,
+            bootstrap_iterations=200,
+        )
+        fields.update(overrides)
+        return ScenarioOutcome(**fields)
+
+    def test_valid_sampled_outcome_passes(self):
+        assert check_scaleout.check_outcome(self._outcome(), sample=8, budget_mb=1e6) == []
+
+    def test_wrong_sample_size_fails(self):
+        errors = check_scaleout.check_outcome(self._outcome(), sample=16, budget_mb=1e6)
+        assert any("sample_size" in error for error in errors)
+
+    def test_missing_interval_fails(self):
+        outcome = self._outcome(utility_ci_low=None, utility_ci_high=None)
+        errors = check_scaleout.check_outcome(outcome, sample=8, budget_mb=1e6)
+        assert any("confidence interval" in error for error in errors)
+
+    def test_interval_not_bracketing_estimate_fails(self):
+        outcome = self._outcome(mean_utility=0.9)
+        errors = check_scaleout.check_outcome(outcome, sample=8, budget_mb=1e6)
+        assert any("does not bracket" in error for error in errors)
+
+    def test_blown_rss_budget_fails(self):
+        errors = check_scaleout.check_outcome(self._outcome(), sample=8, budget_mb=0.001)
+        assert any("peak RSS" in error for error in errors)
+
+    def test_main_small_scale_end_to_end(self, tmp_path, capsys):
+        code = check_scaleout.main(
+            [
+                "--hosts", "48",
+                "--sample", "8",
+                "--hosts-per-shard", "16",
+                "--budget-mb", "100000",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK: 48 hosts in 3 shard(s), sampled 8" in out

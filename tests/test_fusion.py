@@ -1,5 +1,5 @@
 """Tests for feature-set detection: fusion rules, multi-feature evaluation,
-and the deprecated single-feature shims (which must stay bit-identical)."""
+and the single-feature golden fixtures (which must stay bit-identical)."""
 
 from __future__ import annotations
 
@@ -12,18 +12,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.attacks.naive import NaiveAttacker
-from repro.core.evaluation import (
-    DetectionProtocol,
-    EvaluationProtocol,
-    evaluate_policy,
-    evaluate_policy_on_feature,
-)
+from repro.core.evaluation import DetectionProtocol, evaluate_policy
 from repro.core.experiment import summarize_scenario
 from repro.core.fusion import FusionRule
 from repro.core.policies import FullDiversityPolicy, HomogeneousPolicy
 from repro.features.definitions import Feature
 from repro.features.timeseries import FeatureMatrix, TimeSeries
-from repro.utils.deprecation import ReproDeprecationWarning
 from repro.utils.timeutils import BinSpec, HOUR
 from repro.utils.validation import ValidationError
 
@@ -243,25 +237,10 @@ class TestMultiFeatureEvaluation:
         assert set(seen) == set(matrices)
 
 
-class TestDeprecatedShims:
-    def test_evaluation_protocol_warns_and_builds_detection_protocol(self):
-        with pytest.warns(ReproDeprecationWarning, match="EvaluationProtocol"):
-            protocol = EvaluationProtocol(feature=FEATURE_A, train_week=0, test_week=1)
-        assert isinstance(protocol, DetectionProtocol)
-        assert protocol.features == (FEATURE_A,)
-        assert protocol.fusion == FusionRule.any_()
-
-    def test_evaluate_policy_on_feature_warns(self):
-        matrices = _two_feature_population(num_hosts=2)
-        protocol = DetectionProtocol(features=(FEATURE_A,))
-        with pytest.warns(ReproDeprecationWarning, match="evaluate_policy_on_feature"):
-            shimmed = evaluate_policy_on_feature(matrices, FullDiversityPolicy(), protocol)
-        direct = evaluate_policy(matrices, FullDiversityPolicy(), protocol)
-        assert shimmed.performances == direct.performances
-
+class TestSingleFeatureGolden:
     @pytest.mark.skipif(not GOLDEN_PATH.is_file(), reason="golden file not present")
     def test_single_feature_outcomes_bit_identical_to_pre_redesign(self):
-        """The acceptance check: the shimmed single-feature path reproduces the
+        """The acceptance check: the feature-set path reproduces the
         ScenarioOutcomes captured from the pre-redesign API bit for bit."""
         from repro.engine import PopulationEngine
         from repro.sweeps import ScenarioSpec
@@ -277,32 +256,10 @@ class TestDeprecatedShims:
                 populations[key] = engine.generate(spec.population.to_config())
             population = populations[key]
 
-            # New feature-set path (what the sweep runner executes today).
+            # The feature-set path (what the sweep runner executes today).
             outcome = run_scenario(spec, population).to_dict()
             for metric, value in entry["outcome"].items():
                 assert outcome[metric] == value, (spec.name, metric)
-
-            # And explicitly through the deprecated shims.
-            with pytest.warns(ReproDeprecationWarning):
-                protocol = EvaluationProtocol(
-                    feature=spec.evaluation.feature_enum(),
-                    train_week=spec.evaluation.train_week,
-                    test_week=spec.evaluation.test_week,
-                    utility_weight=spec.evaluation.utility_weight,
-                )
-                shimmed = evaluate_policy_on_feature(
-                    population.matrices(),
-                    spec.policy.build(),
-                    protocol,
-                    attack_builder=spec.attack.build_builder(
-                        protocol.feature, population.config.bin_width
-                    ),
-                )
-            shim_outcome = summarize_scenario(
-                shimmed, attack_prevalence=spec.evaluation.attack_prevalence
-            ).to_dict()
-            for metric, value in entry["outcome"].items():
-                assert shim_outcome[metric] == value, (spec.name, metric)
 
 
 @st.composite
@@ -333,7 +290,7 @@ class TestFusionProperties:
         attack_size=st.floats(min_value=0.0, max_value=200.0),
     )
     def test_k_of_n_1_over_single_feature_is_exactly_legacy(self, matrices, attack_size):
-        """k_of_n(1) over one feature IS the legacy single-feature evaluation."""
+        """k_of_n(1) over one feature IS the default-fusion single-feature evaluation."""
         builder = _naive_builder(FEATURE_A, attack_size)
         fused = evaluate_policy(
             matrices,
@@ -341,13 +298,12 @@ class TestFusionProperties:
             DetectionProtocol(features=(FEATURE_A,), fusion=FusionRule.k_of_n(1)),
             attack_builder=builder,
         )
-        with pytest.warns(ReproDeprecationWarning):
-            legacy = evaluate_policy_on_feature(
-                matrices,
-                FullDiversityPolicy(),
-                EvaluationProtocol(feature=FEATURE_A),
-                attack_builder=builder,
-            )
+        legacy = evaluate_policy(
+            matrices,
+            FullDiversityPolicy(),
+            DetectionProtocol(features=(FEATURE_A,)),
+            attack_builder=builder,
+        )
         assert fused.performances == legacy.performances
         fused_outcome = summarize_scenario(fused).to_dict()
         legacy_outcome = summarize_scenario(legacy).to_dict()

@@ -1,0 +1,174 @@
+"""Tests for sampled evaluation: SampleSpec, subsampling, bootstrap CIs.
+
+The contract under test: a :class:`SampleSpec` is inert plain data (disabled
+specs normalise to the default, round-trip through dicts, and never change a
+scenario's spec hash), :func:`sample_host_ids` is a deterministic sorted
+subsample, and :func:`bootstrap_mean_interval` produces deterministic,
+properly nested percentile intervals whose coverage of the full-population
+estimate matches the configured confidence — the statistical property that
+makes sampled million-host evaluation trustworthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import (
+    DEFAULT_BOOTSTRAP,
+    DEFAULT_CONFIDENCE,
+    SampleSpec,
+    bootstrap_mean_interval,
+    sample_host_ids,
+)
+from repro.utils.validation import ValidationError
+
+
+# ------------------------------------------------------------------ SampleSpec
+class TestSampleSpec:
+    def test_default_is_disabled(self):
+        spec = SampleSpec()
+        assert not spec.enabled
+        assert spec.size == 0
+        assert spec.bootstrap == DEFAULT_BOOTSTRAP
+        assert spec.confidence == DEFAULT_CONFIDENCE
+
+    def test_enabled_when_size_positive(self):
+        assert SampleSpec(size=100).enabled
+
+    def test_round_trips_through_dict(self):
+        spec = SampleSpec(size=512, seed=3, bootstrap=500, confidence=0.99)
+        assert SampleSpec.from_dict(spec.to_dict()) == spec
+
+    def test_disabled_spec_normalises_to_default(self):
+        # Inert fields on a disabled spec are dropped, mirroring the
+        # OptimizerSpec/ScheduleSpec normalisation: the seed of a sample
+        # nobody draws must not make two specs unequal.
+        spec = SampleSpec.from_dict({"size": 0, "seed": 99, "bootstrap": 17})
+        assert spec == SampleSpec()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValidationError, match="unknown field"):
+            SampleSpec.from_dict({"size": 4, "bogus": 1})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size": -1},
+            {"size": 4, "bootstrap": 0},
+            {"size": 4, "confidence": 0.0},
+            {"size": 4, "confidence": 1.0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            SampleSpec(**kwargs)
+
+
+# -------------------------------------------------------------- sample_host_ids
+class TestSampleHostIds:
+    def test_deterministic_for_a_seed(self):
+        ids = range(1000)
+        assert sample_host_ids(ids, 50, seed=9) == sample_host_ids(ids, 50, seed=9)
+
+    def test_different_seeds_differ(self):
+        ids = range(1000)
+        assert sample_host_ids(ids, 50, seed=1) != sample_host_ids(ids, 50, seed=2)
+
+    def test_sorted_subset_without_replacement(self):
+        chosen = sample_host_ids(range(200), 64, seed=5)
+        assert len(chosen) == 64
+        assert len(set(chosen)) == 64
+        assert list(chosen) == sorted(chosen)
+        assert set(chosen) <= set(range(200))
+
+    def test_size_at_or_above_population_returns_everything(self):
+        assert sample_host_ids(range(10), 10, seed=1) == list(range(10))
+        assert sample_host_ids(range(10), 99, seed=1) == list(range(10))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_any_seed_yields_a_valid_sample(self, seed):
+        chosen = sample_host_ids(range(128), 32, seed=seed)
+        assert len(chosen) == 32
+        assert len(set(chosen)) == 32
+        assert list(chosen) == sorted(chosen)
+
+
+# ----------------------------------------------------- bootstrap_mean_interval
+class TestBootstrapInterval:
+    def test_deterministic_for_a_seed(self):
+        values = [0.1, 0.5, 0.9, 0.4, 0.6]
+        assert bootstrap_mean_interval(values, 200, 0.95, seed=3) == (
+            bootstrap_mean_interval(values, 200, 0.95, seed=3)
+        )
+
+    def test_constant_values_collapse_to_a_point(self):
+        low, high = bootstrap_mean_interval([0.5] * 20, 100, 0.95, seed=1)
+        assert low == high == 0.5
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        ),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_interval_is_ordered_and_within_value_range(self, values, seed):
+        low, high = bootstrap_mean_interval(values, 100, 0.95, seed=seed)
+        assert low <= high
+        # Percentile interpolation may land one ULP outside the value range.
+        assert low >= min(values) or np.isclose(low, min(values))
+        assert high <= max(values) or np.isclose(high, max(values))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_wider_confidence_nests_the_narrower_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(size=24).tolist()
+        narrow = bootstrap_mean_interval(values, 200, 0.80, seed=7)
+        wide = bootstrap_mean_interval(values, 200, 0.99, seed=7)
+        assert wide[0] <= narrow[0]
+        assert narrow[1] <= wide[1]
+
+
+# ----------------------------------------------------------- coverage property
+class TestSampledCoverage:
+    """Sampled CI bounds contain the full-population estimate.
+
+    Coverage is a statistical guarantee, so each hypothesis example
+    aggregates over many sample seeds: for a fixed synthetic per-host
+    utility population, the fraction of seeded subsamples whose bootstrap
+    CI brackets the true full-population mean must sit near the configured
+    confidence.  Everything is seeded, so examples are fully deterministic.
+    """
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_ci_covers_full_population_mean_at_configured_rate(self, population_seed):
+        rng = np.random.default_rng(population_seed)
+        # Utility-shaped per-host values: a unimodal blob in [0, 1].
+        utilities = np.clip(rng.normal(loc=0.6, scale=0.12, size=256), 0.0, 1.0)
+        true_mean = float(np.mean(utilities))
+
+        covered = 0
+        trials = 40
+        for sample_seed in range(trials):
+            chosen = sample_host_ids(range(256), 96, seed=sample_seed)
+            sampled = [float(utilities[host_id]) for host_id in chosen]
+            low, high = bootstrap_mean_interval(sampled, 200, 0.95, seed=sample_seed)
+            if low <= true_mean <= high:
+                covered += 1
+        # 95% nominal coverage; 70% floor leaves room for bootstrap
+        # undercoverage at this sample size without admitting broken CIs.
+        assert covered / trials >= 0.70
+
+    def test_point_estimate_of_full_sample_equals_population_mean(self):
+        rng = np.random.default_rng(12)
+        utilities = rng.uniform(size=64)
+        chosen = sample_host_ids(range(64), 64, seed=0)
+        assert [float(utilities[i]) for i in chosen] == utilities.tolist()

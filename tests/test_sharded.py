@@ -1,0 +1,224 @@
+"""Tests for sharded population storage: equality, mmap identity, cache.
+
+The scale-out contract: a population cut into fixed-size host-range shards
+(``.rpopd`` directory, one mmap-backed ``.rpsh`` file per shard) must be
+indistinguishable — bit for bit — from the same configuration generated
+monolithically, whether the shards are loaded zero-copy via ``numpy.memmap``
+or read fully into memory, and a format-version bump must invalidate every
+cached layout rather than silently reading stale bytes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import DetectionProtocol, evaluate_policy
+from repro.core.policies import PartialDiversityPolicy
+from repro.engine import PopulationEngine, population_cache_key
+from repro.engine.cache import PopulationCache
+from repro.engine.sharded import (
+    DEFAULT_HOSTS_PER_SHARD,
+    ShardedPopulation,
+    read_manifest,
+    write_population_sharded,
+)
+from repro.features.definitions import Feature
+from repro.utils.validation import ValidationError
+from repro.workload.enterprise import EnterpriseConfig, generate_enterprise
+
+CONFIG = EnterpriseConfig(num_hosts=30, num_weeks=2, seed=511)
+
+PROTOCOL = DetectionProtocol(features=(Feature.TCP_CONNECTIONS,))
+
+
+def assert_matches_monolithic(sharded, population):
+    """Bit-exact equality of a sharded population against the monolith."""
+    assert tuple(sharded.host_ids) == population.host_ids
+    for host_id in population.host_ids:
+        assert sharded.profile(host_id) == population.profile(host_id)
+        left, right = sharded.matrix(host_id), population.matrix(host_id)
+        assert left.features == right.features
+        for feature in left.features:
+            np.testing.assert_array_equal(
+                left.series(feature).values, right.series(feature).values
+            )
+
+
+def _evaluation_payload(evaluation):
+    """Repr-precision per-host operating points (bitwise comparable)."""
+    return {
+        host_id: (
+            repr(float(perf.operating_point.false_positive_rate)),
+            repr(float(perf.operating_point.false_negative_rate)),
+            int(perf.false_alarm_count),
+        )
+        for host_id, perf in sorted(evaluation.performances.items())
+    }
+
+
+@pytest.fixture(scope="module")
+def monolithic():
+    return generate_enterprise(CONFIG)
+
+
+class TestShardedEqualsMonolithic:
+    def test_lazy_generation_matches_monolithic(self, monolithic, tmp_path):
+        sharded = ShardedPopulation.generate(
+            CONFIG, directory=tmp_path / "pop.rpopd", hosts_per_shard=8
+        )
+        assert sharded.num_shards == 4
+        assert_matches_monolithic(sharded, monolithic)
+
+    def test_in_memory_laziness_matches_monolithic(self, monolithic):
+        sharded = ShardedPopulation.generate(CONFIG, hosts_per_shard=7)
+        assert_matches_monolithic(sharded, monolithic)
+
+    def test_write_then_open_round_trips(self, monolithic, tmp_path):
+        directory = write_population_sharded(
+            tmp_path / "pop.rpopd", monolithic, hosts_per_shard=8
+        )
+        reopened = ShardedPopulation.open(directory)
+        assert_matches_monolithic(reopened, monolithic)
+
+    def test_reopen_resumes_partially_written_population(self, monolithic, tmp_path):
+        directory = tmp_path / "pop.rpopd"
+        first = ShardedPopulation.generate(CONFIG, directory=directory, hosts_per_shard=8)
+        first.matrix(0)  # realises (and persists) only shard 0
+        manifest = read_manifest(directory)
+        written = [record for record in manifest["shards"] if record is not None]
+        assert len(written) == 1
+        assert_matches_monolithic(ShardedPopulation.open(directory), monolithic)
+
+    def test_matrices_for_returns_exactly_the_requested_subset(self, monolithic, tmp_path):
+        sharded = ShardedPopulation.generate(
+            CONFIG, directory=tmp_path / "pop.rpopd", hosts_per_shard=8
+        )
+        chosen = [1, 9, 10, 29]
+        subset = sharded.matrices_for(chosen)
+        assert sorted(subset) == chosen
+        full = monolithic.matrices()
+        for host_id in chosen:
+            np.testing.assert_array_equal(
+                subset[host_id].series(Feature.TCP_CONNECTIONS).values,
+                full[host_id].series(Feature.TCP_CONNECTIONS).values,
+            )
+
+    def test_residency_stays_bounded(self, tmp_path):
+        sharded = ShardedPopulation.generate(
+            CONFIG,
+            directory=tmp_path / "pop.rpopd",
+            hosts_per_shard=8,
+            max_resident_shards=2,
+        )
+        for host_id in sharded.host_ids:
+            sharded.matrix(host_id)
+            assert len(sharded.resident_shards) <= 2
+        # LRU order: the two most recently touched shards remain.
+        assert sharded.resident_shards == (2, 3)
+
+    def test_shard_hashes_verify(self, monolithic, tmp_path):
+        directory = write_population_sharded(
+            tmp_path / "pop.rpopd", monolithic, hosts_per_shard=16
+        )
+        sharded = ShardedPopulation.open(directory)
+        assert all(sharded.verify_shard(index) for index in range(sharded.num_shards))
+
+    def test_corrupt_shard_is_regenerated_identically(self, monolithic, tmp_path):
+        directory = write_population_sharded(
+            tmp_path / "pop.rpopd", monolithic, hosts_per_shard=16
+        )
+        shard_file = directory / "shard-00000.rpsh"
+        shard_file.write_bytes(b"garbage" + shard_file.read_bytes()[7:])
+        sharded = ShardedPopulation.open(directory)
+        assert not sharded.verify_shard(0)
+        assert_matches_monolithic(sharded, monolithic)
+
+
+class TestMmapBitIdentity:
+    def test_mmap_and_in_memory_values_identical(self, monolithic, tmp_path):
+        directory = write_population_sharded(
+            tmp_path / "pop.rpopd", monolithic, hosts_per_shard=8
+        )
+        mapped = ShardedPopulation.open(directory, use_mmap=True)
+        in_memory = ShardedPopulation.open(directory, use_mmap=False)
+        for host_id in monolithic.host_ids:
+            for feature in monolithic.matrix(host_id).features:
+                np.testing.assert_array_equal(
+                    mapped.matrix(host_id).series(feature).values,
+                    in_memory.matrix(host_id).series(feature).values,
+                )
+
+    def test_evaluation_on_mmap_matches_monolithic(self, monolithic, tmp_path):
+        directory = write_population_sharded(
+            tmp_path / "pop.rpopd", monolithic, hosts_per_shard=8
+        )
+        mapped = ShardedPopulation.open(directory, use_mmap=True)
+        policy = PartialDiversityPolicy()
+        baseline = evaluate_policy(monolithic.matrices(), policy, PROTOCOL)
+        via_mmap = evaluate_policy(mapped.matrices(), policy, PROTOCOL)
+        assert _evaluation_payload(via_mmap) == _evaluation_payload(baseline)
+
+
+class TestCacheInvalidation:
+    def test_cache_key_depends_on_format_version(self, monkeypatch):
+        before = population_cache_key(CONFIG)
+        monkeypatch.setattr(
+            "repro.engine.cache.POPULATION_FORMAT_VERSION", 99_999_999
+        )
+        assert population_cache_key(CONFIG) != before
+
+    def test_sharded_path_moves_on_version_bump(self, tmp_path, monkeypatch):
+        cache = PopulationCache(tmp_path)
+        before = cache.sharded_path_for(CONFIG)
+        monkeypatch.setattr(
+            "repro.engine.cache.POPULATION_FORMAT_VERSION", 99_999_999
+        )
+        after = cache.sharded_path_for(CONFIG)
+        assert before != after  # a bump never reuses the old layout's path
+
+    def test_stale_manifest_format_is_rejected(self, monolithic, tmp_path):
+        directory = write_population_sharded(
+            tmp_path / "pop.rpopd", monolithic, hosts_per_shard=16
+        )
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = manifest["format"] - 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValidationError, match="unsupported sharded population format"):
+            ShardedPopulation.open(directory)
+
+    def test_generate_over_stale_layout_rebuilds_it(self, monolithic, tmp_path):
+        directory = tmp_path / "pop.rpopd"
+        write_population_sharded(directory, monolithic, hosts_per_shard=16)
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = manifest["format"] - 1
+        manifest_path.write_text(json.dumps(manifest))
+        # generate() treats the unreadable manifest as "no population here"
+        # and starts a fresh layout at the current version.
+        sharded = ShardedPopulation.generate(CONFIG, directory=directory, hosts_per_shard=16)
+        assert json.loads(manifest_path.read_text())["format"] != manifest["format"]
+        assert_matches_monolithic(sharded, monolithic)
+
+    def test_engine_generate_sharded_uses_cache_directory(self, tmp_path):
+        engine = PopulationEngine(workers=1, cache_dir=tmp_path)
+        sharded = engine.generate_sharded(CONFIG, hosts_per_shard=8)
+        sharded.matrix(0)
+        layout = PopulationCache(tmp_path).sharded_path_for(CONFIG)
+        assert layout.is_dir()
+        assert (layout / "shard-00000.rpsh").is_file()
+
+    def test_config_mismatch_on_existing_layout_is_rejected(self, monolithic, tmp_path):
+        directory = write_population_sharded(
+            tmp_path / "pop.rpopd", monolithic, hosts_per_shard=16
+        )
+        other = EnterpriseConfig(num_hosts=30, num_weeks=2, seed=512)
+        with pytest.raises(ValidationError, match="does not match"):
+            ShardedPopulation.generate(other, directory=directory, hosts_per_shard=16)
+
+
+def test_default_shard_size_is_power_of_two():
+    assert DEFAULT_HOSTS_PER_SHARD & (DEFAULT_HOSTS_PER_SHARD - 1) == 0

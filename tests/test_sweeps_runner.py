@@ -417,7 +417,7 @@ class TestTimelineScenarios:
         records = store.records()
         assert len(records) == 2
         for record in records:
-            assert record.schema == RESULT_SCHEMA_VERSION == 4
+            assert record.schema == RESULT_SCHEMA_VERSION == 5
             metrics = record.metrics
             assert metrics["schedule"] in ("never", "every-1-weeks")
             assert metrics["num_timeline_weeks"] == 3

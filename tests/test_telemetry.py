@@ -35,7 +35,6 @@ from repro.telemetry import (
     wall_clock_coverage,
     write_trace_jsonl,
 )
-from repro.utils.deprecation import ReproDeprecationWarning
 from repro.utils.validation import ValidationError
 from repro.workload.enterprise import EnterpriseConfig
 
@@ -337,12 +336,10 @@ class TestPipelineIntegration:
         assert "temporal.timeline" in names
         assert "temporal.week" in names
 
-    def test_timing_kwarg_is_deprecated_but_still_called(self, tmp_path):
+    def test_timing_kwarg_is_removed(self, tmp_path):
         engine = PopulationEngine(workers=1, cache_dir=tmp_path / "cache")
-        calls = []
-        with pytest.warns(ReproDeprecationWarning, match="timing"):
-            SweepRunner(engine=engine).run(_sweep(), timing=calls.append)
-        assert len(calls) == 2
+        with pytest.raises(TypeError, match="timing"):
+            SweepRunner(engine=engine).run(_sweep(), timing=lambda result: None)
 
 
 # ---------------------------------------------------------------------- CLI
