@@ -1,0 +1,179 @@
+"""CI smoke check: the run-metrics registry, OpenMetrics export, and gauges.
+
+Two halves:
+
+1. **History validation** — the ``metrics.jsonl`` the demo sweep / loadgen
+   steps appended to must hold well-formed schema-versioned records (summary
+   tree present, wall clock positive, workload counters non-zero), each of
+   which must export to an OpenMetrics exposition the strict parser accepts.
+2. **Sharded gauge smoke** (default on) — runs a small sampled evaluation
+   against a sharded population under a live recorder and asserts the
+   resource gauges the run-metrics layer exists for are actually non-zero:
+   ``engine.shards_resident``, ``engine.shard_bytes_resident`` and
+   ``process.rss_bytes``.  The resulting record is appended to the same
+   history so the uploaded artifact carries a sharded run too.
+
+Usage::
+
+    python scripts/ci_checks/check_metrics.py metrics-history.jsonl \\
+        --cache-dir .benchmarks/population-cache --export metrics-latest.om
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+#: Counters at least one validated history record must carry (non-zero).
+WORKLOAD_COUNTERS = ("sweeps.scenarios_evaluated",)
+
+
+def validate_history(path: Path) -> List[str]:
+    """Every violated expectation in the history file, as messages."""
+    from repro.metrics import MetricsHistory, RunRecord, openmetrics_text, parse_openmetrics
+    from repro.utils.validation import ValidationError
+
+    errors: List[str] = []
+    try:
+        records = MetricsHistory(path).records()
+    except ValidationError as error:
+        return [f"history {path} is unreadable: {error}"]
+    if not records:
+        return [f"history {path} holds no records"]
+    for index, record in enumerate(records):
+        label = f"record #{index} ({record.run_id})"
+        if record.wall_clock_seconds <= 0.0:
+            errors.append(f"{label}: wall_clock_seconds is not positive")
+        if not record.summary:
+            errors.append(f"{label}: span summary tree is empty")
+        if record.peak_rss_bytes <= 0:
+            errors.append(f"{label}: peak_rss_bytes is not positive")
+        roundtrip = RunRecord.from_dict(record.to_dict())
+        if roundtrip.to_dict() != record.to_dict():
+            errors.append(f"{label}: to_dict/from_dict round-trip is lossy")
+        exposition = openmetrics_text(record)
+        if not exposition.endswith("# EOF\n"):
+            errors.append(f"{label}: OpenMetrics export does not end with # EOF")
+        try:
+            families = parse_openmetrics(exposition)
+        except ValidationError as error:
+            errors.append(f"{label}: OpenMetrics export does not parse: {error}")
+            continue
+        if "repro_run_wall_clock_seconds" not in families:
+            errors.append(f"{label}: export is missing repro_run_wall_clock_seconds")
+    for name in WORKLOAD_COUNTERS:
+        if not any(record.counters.get(name, 0) > 0 for record in records):
+            errors.append(f"no record carries a non-zero {name!r} counter")
+    return errors
+
+
+def sharded_smoke(
+    history_path: Path,
+    hosts: int,
+    weeks: int,
+    sample: int,
+    hosts_per_shard: int,
+    cache_dir: Optional[str],
+) -> List[str]:
+    """Run a sharded sampled evaluation under a recorder; check the gauges."""
+    from repro.core.sampling import SampleSpec
+    from repro.engine import PopulationEngine
+    from repro.metrics import MetricsHistory, build_run_record
+    from repro.sweeps.runner import run_scenario
+    from repro.sweeps.spec import EvaluationSpec, PopulationSpec, ScenarioSpec
+    from repro.telemetry import TelemetryRecorder, use_recorder
+
+    errors: List[str] = []
+    recorder = TelemetryRecorder()
+    started = recorder.clock()
+    with use_recorder(recorder):
+        engine = PopulationEngine(cache_dir=cache_dir)
+        spec = ScenarioSpec(
+            name="metrics-sharded-smoke",
+            population=PopulationSpec(num_hosts=hosts, num_weeks=weeks),
+            evaluation=EvaluationSpec(sample=SampleSpec(size=sample, seed=7)),
+        ).validate()
+        population = engine.generate_sharded(
+            spec.population.to_config(),
+            hosts_per_shard=hosts_per_shard,
+            max_resident_shards=2,
+        )
+        run_scenario(spec, population)
+    record = build_run_record(
+        recorder.snapshot(),
+        command="ci check_metrics sharded-smoke",
+        wall_clock_seconds=recorder.clock() - started,
+        annotations={"hosts": hosts, "hosts_per_shard": hosts_per_shard},
+    )
+    for gauge in ("engine.shards_resident", "engine.shard_bytes_resident", "process.rss_bytes"):
+        if not record.gauges.get(gauge, 0.0) > 0.0:
+            errors.append(
+                f"sharded smoke: gauge {gauge!r} is "
+                f"{record.gauges.get(gauge)!r}, expected > 0"
+            )
+    if record.shards.get("loaded", 0) <= 0:
+        errors.append("sharded smoke: engine.shards_loaded counter never incremented")
+    MetricsHistory(history_path).append(record)
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("history", help="metrics JSONL written by `repro ... --metrics`")
+    parser.add_argument("--hosts", type=int, default=1024)
+    parser.add_argument("--weeks", type=int, default=2)
+    parser.add_argument("--sample", type=int, default=32)
+    parser.add_argument("--hosts-per-shard", type=int, default=256)
+    parser.add_argument(
+        "--skip-smoke",
+        action="store_true",
+        help="only validate the existing history (no sharded gauge run)",
+    )
+    parser.add_argument("--cache-dir", default=None, help="population cache directory")
+    parser.add_argument(
+        "--export",
+        default=None,
+        metavar="PATH",
+        help="write the latest record's OpenMetrics exposition here",
+    )
+    args = parser.parse_args(argv)
+
+    history_path = Path(args.history)
+    errors: List[str] = []
+    if not args.skip_smoke:
+        errors.extend(
+            sharded_smoke(
+                history_path,
+                hosts=args.hosts,
+                weeks=args.weeks,
+                sample=args.sample,
+                hosts_per_shard=args.hosts_per_shard,
+                cache_dir=args.cache_dir,
+            )
+        )
+    errors.extend(validate_history(history_path))
+    if args.export and history_path.is_file():
+        from repro.metrics import MetricsHistory, openmetrics_text
+
+        records = MetricsHistory(history_path).records()
+        if records:
+            Path(args.export).write_text(openmetrics_text(records[-1]), encoding="utf-8")
+    if errors:
+        for error in errors:
+            print(f"check_metrics: FAIL: {error}", file=sys.stderr)
+        return 1
+    from repro.metrics import MetricsHistory
+
+    count = len(MetricsHistory(history_path).records())
+    print(
+        f"OK: {count} record(s) in {history_path}; every record round-trips and "
+        f"its OpenMetrics export parses; sharded-run resource gauges non-zero"
+        + (" (smoke skipped)" if args.skip_smoke else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,14 +22,15 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import resource
 import sys
 from typing import List, Optional, Sequence
 
 
 def peak_rss_mb() -> float:
-    """Peak RSS of this process in MiB (``ru_maxrss`` is KiB on Linux)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    """Peak RSS of this process in MiB (shared probe in ``repro.utils``)."""
+    from repro.utils.resources import peak_rss_mb as probe
+
+    return probe()
 
 
 def run_smoke(

@@ -23,7 +23,7 @@ from repro.engine.serialization import (
     read_population,
     write_population,
 )
-from repro.telemetry import trace_span
+from repro.telemetry import set_gauge, trace_span
 from repro.utils.validation import ValidationError
 from repro.workload.enterprise import EnterpriseConfig, EnterprisePopulation
 from repro.workload.profiles import UserRole
@@ -116,6 +116,16 @@ class PopulationCache:
             logger.debug("population cache hit: %s (%d hosts)", path, len(population))
             return population
 
+    def entry_count(self) -> int:
+        """Number of cached populations (sharded ``.rpopd`` dirs count as one)."""
+        if not self._directory.is_dir():
+            return 0
+        flat = sum(1 for _ in self._directory.glob("population-*.rpop"))
+        sharded = sum(
+            1 for path in self._directory.glob("population-*.rpopd") if path.is_dir()
+        )
+        return flat + sharded
+
     def store(
         self,
         population: EnterprisePopulation,
@@ -142,6 +152,7 @@ class PopulationCache:
             finally:
                 if temporary.exists():
                     temporary.unlink()
+        set_gauge("engine.cache_entries", float(self.entry_count()))
         logger.debug("population cached: %s (%d hosts)", path, len(population))
         return path
 
@@ -164,4 +175,5 @@ class PopulationCache:
                 path.unlink()
             directory.rmdir()
             removed += 1
+        set_gauge("engine.cache_entries", float(self.entry_count()))
         return removed

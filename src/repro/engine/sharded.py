@@ -48,7 +48,7 @@ from repro.engine.serialization import (
 from repro.features.definitions import Feature
 from repro.features.timeseries import FeatureMatrix, TimeSeries
 from repro.stats.empirical import EmpiricalDistribution
-from repro.telemetry import add_count, trace_span
+from repro.telemetry import add_count, set_gauge, trace_span
 from repro.traces.serialization import read_header, write_header
 from repro.utils.timeutils import BinSpec
 from repro.utils.validation import ValidationError, require
@@ -232,6 +232,20 @@ def _read_shard(
             series[feature] = TimeSeries._wrap(block[row, column], bin_spec)
         matrices[host_id] = FeatureMatrix(host_id=host_id, series=series)
     return profiles, matrices
+
+
+def _entry_nbytes(entry: Tuple[Dict[int, "HostProfile"], Dict[int, FeatureMatrix]]) -> int:
+    """Float64-bin footprint of one resident shard entry, in bytes.
+
+    Counts the feature-matrix payload only (profiles are negligible next to
+    ``hosts x features x bins`` of float64), matching what the ``.rpsh``
+    block on disk holds and what an eviction actually releases.
+    """
+    _, matrices = entry
+    if not matrices:
+        return 0
+    reference = next(iter(matrices.values()))
+    return len(matrices) * len(reference.features) * reference.num_bins * 8
 
 
 def _shard_file_name(index: int) -> str:
@@ -469,7 +483,18 @@ class ShardedPopulation:
         add_count("engine.shards_loaded")
         while len(self._resident) > self._max_resident:
             self._resident.pop(next(iter(self._resident)))
+        # Residency only changes on this path (load + possible eviction), so
+        # the LRU-refresh fast path above stays gauge-free.
+        self._update_residency_gauges()
         return entry
+
+    def _update_residency_gauges(self) -> None:
+        """Publish the LRU's current footprint as resource gauges."""
+        set_gauge("engine.shards_resident", float(len(self._resident)))
+        set_gauge(
+            "engine.shard_bytes_resident",
+            float(sum(_entry_nbytes(entry) for entry in self._resident.values())),
+        )
 
     def _load_or_generate_shard(
         self, index: int

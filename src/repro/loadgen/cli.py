@@ -21,6 +21,7 @@ from typing import Any, Dict, List
 from repro.engine import PopulationEngine
 from repro.loadgen.orchestrator import LoadOrchestrator
 from repro.loadgen.profiles import PROFILES, load_profile
+from repro.metrics.record import annotate_run
 
 
 def _build_engine(args: argparse.Namespace) -> PopulationEngine:
@@ -110,6 +111,12 @@ def _cmd_loadgen_run(args: argparse.Namespace) -> int:
     orchestrator = LoadOrchestrator(
         engine=engine, workers=args.workers if args.workers else 1
     )
+    annotate_run(
+        profile=profile.name,
+        seed=profile.seed,
+        hosts=profile.num_hosts,
+        events=profile.total_events,
+    )
     print(
         f"loadgen {profile.name!r}: {profile.total_events} event(s) across "
         f"{len(profile.phases)} phase(s) on {profile.num_hosts} hosts..."
@@ -172,6 +179,13 @@ def add_loadgen_parser(subcommands, add_engine_flags, add_output_flags=None) -> 
         default=None,
         help="write a pytest-benchmark-compatible BENCH_*.json here "
         "(feeds scripts/bench_compare.py)",
+    )
+    run.add_argument(
+        "--monitor",
+        action="store_true",
+        help="render a live in-terminal status line (phase, rate, p50/p95, "
+        "cache hit ratio, resident shards, RSS) on stderr while the run "
+        "progresses",
     )
     add_engine_flags(run)
     output_flags(run)

@@ -1,0 +1,55 @@
+"""The resource gauge sampler behind ``process.rss_bytes``.
+
+Engine-side gauges (`engine.shards_resident`, `engine.shard_bytes_resident`,
+`engine.cache_entries`) are set at their instrumentation sites; process RSS
+has no natural site, so the :class:`ResourceSampler` publishes it — probe and
+clock both injectable, throttled by a minimum interval, and **off by
+default**: nothing constructs one unless ``--monitor`` or metrics recording
+asks for it, keeping un-instrumented runs free of ``getrusage`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.telemetry import monotonic_now, set_gauge
+from repro.utils.resources import peak_rss_bytes
+
+
+class ResourceSampler:
+    """Publishes the process RSS gauge, at most once per ``interval`` seconds.
+
+    Deterministic under fakes: with an injected ``probe`` and ``clock`` the
+    sequence of published gauge values is a pure function of how often
+    :meth:`maybe_sample` is called, which is what the monitor determinism
+    tests pin down.
+    """
+
+    def __init__(
+        self,
+        probe: Callable[[], int] = peak_rss_bytes,
+        clock: Callable[[], float] = monotonic_now,
+        interval: float = 1.0,
+    ) -> None:
+        self._probe = probe
+        self._clock = clock
+        self._interval = float(interval)
+        self._last_sample: Optional[float] = None
+        self.last_value: Optional[float] = None
+
+    def sample(self) -> float:
+        """Probe now, publish the gauge, and return the sampled bytes."""
+        value = float(self._probe())
+        self._last_sample = self._clock()
+        self.last_value = value
+        set_gauge("process.rss_bytes", value)
+        return value
+
+    def maybe_sample(self) -> Optional[float]:
+        """Sample only if ``interval`` has elapsed; None when throttled."""
+        if self._last_sample is not None and self._clock() - self._last_sample < self._interval:
+            return None
+        return self.sample()
+
+
+__all__ = ["ResourceSampler"]

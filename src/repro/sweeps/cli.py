@@ -15,15 +15,21 @@ and also reachable as ``python -m repro``::
     repro sweep run policy-grid --trace t.jsonl  # record a telemetry trace
     repro trace report t.jsonl                # per-span timing summary
     repro trace convert t.jsonl t.chrome.json # Perfetto/chrome://tracing
+    repro sweep run demo --metrics metrics.jsonl --monitor  # record + live view
+    repro metrics list --history metrics.jsonl  # the persistent run history
+    repro metrics diff -2 -1                  # span-level regression attribution
 
 Every leaf subcommand accepts ``-v/--verbose`` and ``-q/--quiet`` (package
-logging level) plus ``--trace PATH`` / ``--trace-format jsonl|chrome`` to
-record the run's telemetry spans and counters.
+logging level), ``--trace PATH`` / ``--trace-format jsonl|chrome`` to record
+the run's telemetry spans and counters, and ``--metrics PATH`` to append the
+run's summary record to a persistent metrics history; ``sweep run`` and
+``loadgen run`` additionally take ``--monitor`` for a live status line.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import replace
@@ -31,6 +37,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.engine import PopulationEngine
+from repro.metrics.record import (
+    METRICS_HISTORY_ENV,
+    MetricsHistory,
+    annotate_run,
+    build_run_record,
+    collect_annotations,
+)
 from repro.sweeps.catalog import builtin_sweeps, load_builtin
 from repro.sweeps.results import (
     HEADLINE_METRICS,
@@ -40,13 +53,14 @@ from repro.sweeps.results import (
     pivot,
 )
 from repro.sweeps.runner import ScenarioResult, SweepRunner
-from repro.sweeps.spec import SweepSpec
+from repro.sweeps.spec import SweepSpec, scenario_spec_hash
 from repro.telemetry import (
     TRACE_FORMATS,
     TelemetryRecorder,
     monotonic_now,
     read_trace_jsonl,
     render_trace_report,
+    summary_payload,
     use_recorder,
     write_chrome_trace,
     write_trace,
@@ -111,6 +125,30 @@ def _add_output_flags(parser: argparse.ArgumentParser) -> None:
         choices=TRACE_FORMATS,
         help="trace file format: jsonl (repro trace report) or chrome (Perfetto)",
     )
+    try:
+        parser.add_argument(
+            "--metrics",
+            default=os.environ.get(METRICS_HISTORY_ENV),
+            metavar="PATH",
+            help="append this run's metrics record (summary tree, counters, "
+            f"gauges, peak RSS) to a JSONL history at PATH "
+            f"(default: ${METRICS_HISTORY_ENV})",
+        )
+    except argparse.ArgumentError:
+        # `sweep report` owns --metrics already (its metric *columns*); a pure
+        # reader has nothing worth recording, so it simply goes without.
+        pass
+
+
+def _add_monitor_flag(parser: argparse.ArgumentParser) -> None:
+    """The ``--monitor`` live status line (``sweep run`` and ``loadgen run``)."""
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help="render a live in-terminal status line (phase, rate, p50/p95, "
+        "cache hit ratio, resident shards, RSS) on stderr while the run "
+        "progresses; replaces per-scenario progress prints",
+    )
 
 
 def _resolve_sweep(spec_argument: str) -> SweepSpec:
@@ -152,7 +190,8 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     print(f"sweep {sweep.name!r}: {len(scenarios)} scenario(s) -> {store_path}")
 
     def progress(completed: int, total: int, result: ScenarioResult) -> None:
-        if args.quiet:
+        # --monitor owns the terminal line, so per-scenario prints are off.
+        if args.quiet or getattr(args, "monitor", False):
             return
         outcome = result.outcome
         fused = f" fusion={outcome.fusion}" if outcome.num_features > 1 else ""
@@ -179,6 +218,13 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
 
     # repro-lint: disable=REP002 run ids are provenance labels that deliberately record wall-clock; they are never parsed back into results
     run_id = f"{sweep.name}-{int(time.time())}"
+    annotate_run(
+        run_id=run_id,
+        sweep=sweep.name,
+        store=str(store_path),
+        scenarios=len(scenarios),
+        spec_hashes=[scenario_spec_hash(scenario) for scenario in scenarios],
+    )
     run = runner.run(
         sweep,
         store=store,
@@ -295,6 +341,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     records = _store_records(store)
     if records is None:
         return 1
+    annotate_run(store=str(store.path), records=len(records))
     timeline_records = [record for record in records if record.metrics.get("timeline")]
     if args.scenario:
         timeline_records = [
@@ -399,6 +446,11 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
         print(f"error: trace file not found: {path}", file=sys.stderr)
         return 1
     snapshot = read_trace_jsonl(path)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(summary_payload(snapshot), indent=2, sort_keys=True))
+        return 0
     print(render_trace_report(snapshot, max_depth=args.max_depth))
     return 0
 
@@ -443,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-evaluate scenarios whose results are already in the store "
         "(by default they are skipped)",
     )
+    _add_monitor_flag(run)
     _add_engine_flags(run)
     _add_output_flags(run)
     run.set_defaults(handler=_cmd_sweep_run)
@@ -505,6 +558,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_parser(subcommands, _add_output_flags)
 
+    from repro.metrics.cli import add_metrics_parser
+
+    add_metrics_parser(subcommands, _add_output_flags)
+
     experiments = subcommands.add_parser(
         "experiments",
         help="run the full paper experiment suite "
@@ -537,6 +594,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="collapse the span tree below this depth (default: show all)",
     )
+    trace_report.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="text (rendered table) or json (the machine-readable summary "
+        "shape `repro metrics` records and diffs)",
+    )
     _add_output_flags(trace_report)
     trace_report.set_defaults(handler=_cmd_trace_report)
 
@@ -554,23 +618,59 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _dispatch(args: argparse.Namespace) -> int:
-    """Run the selected handler, recording telemetry when ``--trace`` asks.
+def _command_label(args: argparse.Namespace) -> str:
+    """The full subcommand path (``sweep run``, ``loadgen run``, ...)."""
+    parts = [str(args.command)]
+    for attribute in ("sweep_command", "loadgen_command", "trace_command", "metrics_command"):
+        value = getattr(args, attribute, None)
+        if value:
+            parts.append(str(value))
+    return " ".join(parts)
 
-    The trace is exported even when the handler raises, so a failing run
-    still leaves its partial span log behind for diagnosis.
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected handler, recording telemetry when flags ask for it.
+
+    ``--trace``, ``--metrics`` and ``--monitor`` all install the same
+    :class:`TelemetryRecorder` around the handler; the trace is exported and
+    the metrics record appended even when the handler raises, so a failing
+    run still leaves its partial span log and history record behind for
+    diagnosis.
     """
     trace_path = getattr(args, "trace", None)
-    if not trace_path:
+    # `sweep report` reuses the name --metrics for its metric *columns* (a
+    # list); only the shared string-valued history flag enables recording.
+    metrics_path = getattr(args, "metrics", None)
+    if not isinstance(metrics_path, str):
+        metrics_path = None
+    monitor_requested = getattr(args, "monitor", False)
+    if not (trace_path or metrics_path or monitor_requested):
         return args.handler(args)
+    from repro.metrics.monitor import CampaignMonitor
+
     recorder = TelemetryRecorder()
     trace_format = getattr(args, "trace_format", "jsonl")
-    try:
-        with use_recorder(recorder):
+    monitor = CampaignMonitor(recorder) if monitor_requested else None
+    started = recorder.clock()
+    with use_recorder(recorder), collect_annotations() as notes:
+        try:
             return args.handler(args)
-    finally:
-        destination = write_trace(recorder, trace_path, trace_format)
-        print(f"trace written to {destination} ({trace_format})")
+        finally:
+            if monitor is not None:
+                monitor.close()
+            if trace_path:
+                destination = write_trace(recorder, trace_path, trace_format)
+                print(f"trace written to {destination} ({trace_format})")
+            if metrics_path:
+                record = build_run_record(
+                    recorder.snapshot(),
+                    command=_command_label(args),
+                    wall_clock_seconds=recorder.clock() - started,
+                    annotations=notes,
+                )
+                history = MetricsHistory(metrics_path)
+                history.append(record)
+                print(f"metrics appended to {history.path} (run id {record.run_id})")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -588,8 +688,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Downstream closed the pipe (`repro sweep report ... | head`); point
         # stdout at devnull so the interpreter's exit flush stays quiet.
-        import os
-
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
     except OSError as error:

@@ -36,6 +36,7 @@ from repro.telemetry.report import (
     SpanSummary,
     render_trace_report,
     summarize_spans,
+    summary_payload,
     wall_clock_coverage,
 )
 
@@ -85,8 +86,14 @@ COUNTER_NAMES = (
     "temporal.weeks_measured",
 )
 
-#: Every gauge name instrumented code may set (REP003; none recorded yet).
-GAUGE_NAMES = ()
+#: Every gauge name instrumented code may set (REP003, as above).  Gauges are
+#: last-write-wins resource levels — residency and memory, not event counts.
+GAUGE_NAMES = (
+    "engine.cache_entries",
+    "engine.shard_bytes_resident",
+    "engine.shards_resident",
+    "process.rss_bytes",
+)
 
 __all__ = [
     "COUNTER_NAMES",
@@ -109,6 +116,7 @@ __all__ = [
     "render_trace_report",
     "set_gauge",
     "summarize_spans",
+    "summary_payload",
     "trace_span",
     "use_recorder",
     "wall_clock_coverage",

@@ -134,6 +134,23 @@ def wall_clock_coverage(source: Union[Mapping[str, Any], Any]) -> Optional[float
     return min(1.0, rooted / extent)
 
 
+def summary_payload(source: Union[Mapping[str, Any], Any]) -> Dict[str, Any]:
+    """The machine-readable span summary: one JSON shape shared everywhere.
+
+    ``repro trace report --format json``, the run-metrics registry
+    (:mod:`repro.metrics.record`) and ``repro metrics diff`` all consume and
+    produce exactly this payload, so summaries written by one tool can be
+    aligned against summaries written by another.
+    """
+    snapshot = source.snapshot() if hasattr(source, "snapshot") else source
+    return {
+        "summary": [root.to_dict() for root in summarize_spans(snapshot)],
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
+        "wall_clock_coverage": wall_clock_coverage(snapshot),
+    }
+
+
 def render_trace_report(
     source: Union[Mapping[str, Any], Any], max_depth: Optional[int] = None
 ) -> str:

@@ -18,6 +18,7 @@ from repro.utils.timeutils import (
     format_duration,
     iter_bins,
 )
+from repro.utils.resources import peak_rss_bytes, peak_rss_mb
 from repro.utils.validation import (
     ValidationError,
     require,
@@ -41,6 +42,8 @@ __all__ = [
     "bins_per_week",
     "format_duration",
     "iter_bins",
+    "peak_rss_bytes",
+    "peak_rss_mb",
     "ValidationError",
     "require",
     "require_in_range",

@@ -1,0 +1,39 @@
+"""Process resource probes shared by CI checks and the metrics recorder.
+
+One implementation of the peak-RSS reading (``resource.getrusage``) so the
+scale-out CI budget check and the run-metrics registry report the same
+number.  ``ru_maxrss`` is platform-dependent — kibibytes on Linux, bytes on
+macOS — which is exactly the kind of detail that should live in one place.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes.
+
+    Returns 0 when the :mod:`resource` module is unavailable (non-POSIX
+    platforms), so callers can treat "no reading" uniformly with "tiny
+    process" instead of branching on platform.
+    """
+    if _resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+        return int(peak)
+    return int(peak) * 1024
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process in MiB (0.0 when unavailable)."""
+    return peak_rss_bytes() / (1024.0 * 1024.0)
+
+
+__all__ = ["peak_rss_bytes", "peak_rss_mb"]

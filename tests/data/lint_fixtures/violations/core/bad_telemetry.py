@@ -1,9 +1,11 @@
-"""REP003 fixture: span/counter literals not declared in the registry."""
+"""REP003 fixture: span/counter/gauge literals not declared in the registry."""
 
-from telemetry import add_count, trace_span
+from telemetry import add_count, set_gauge, trace_span
 
 
 def run():
     with trace_span("app.typo"):  # not in SPAN_NAMES
         add_count("app.items")  # declared: no finding
         add_count("nope")  # not in COUNTER_NAMES
+        set_gauge("app.load", 0.5)  # declared: no finding
+        set_gauge("bad.gauge", 2.0)  # not in GAUGE_NAMES

@@ -2,4 +2,4 @@
 
 SPAN_NAMES = ("app.run",)
 COUNTER_NAMES = ("app.items",)
-GAUGE_NAMES = ()
+GAUGE_NAMES = ("app.load",)

@@ -87,11 +87,13 @@ class TestRulePack:
 
     def test_rep003_flags_undeclared_names_only(self):
         findings = by_rule(run_rules(VIOLATIONS)).get("REP003", [])
-        assert len(findings) == 2
+        assert len(findings) == 3
         messages = " | ".join(f.message for f in findings)
         assert "app.typo" in messages
         assert "'nope'" in messages
+        assert "bad.gauge" in messages
         assert "app.items" not in messages
+        assert "app.load" not in messages
 
     def test_rep003_skips_trees_without_a_registry(self, tmp_path):
         (tmp_path / "app.py").write_text('with trace_span("anything"):\n    pass\n')

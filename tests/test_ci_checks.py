@@ -34,6 +34,7 @@ check_timeline = load_script("ci_checks/check_timeline.py")
 check_result_cache = load_script("ci_checks/check_result_cache.py")
 check_lint_report = load_script("ci_checks/check_lint_report.py")
 check_scaleout = load_script("ci_checks/check_scaleout.py")
+check_metrics = load_script("ci_checks/check_metrics.py")
 
 
 def bench_payload(medians, machine_info=None):
@@ -597,3 +598,91 @@ class TestCheckScaleout:
         assert code == 0
         out = capsys.readouterr().out
         assert "OK: 48 hosts in 3 shard(s), sampled 8" in out
+
+
+# -------------------------------------------------------------- check_metrics
+class TestCheckMetrics:
+    def _record(self, **overrides):
+        from repro.metrics import build_run_record
+        from repro.telemetry import TelemetryRecorder, add_count, trace_span, use_recorder
+
+        recorder = TelemetryRecorder()
+        with use_recorder(recorder), trace_span("sweeps.run"):
+            add_count("sweeps.scenarios_evaluated", 5)
+        record = build_run_record(
+            recorder.snapshot(),
+            command="sweep run",
+            wall_clock_seconds=1.5,
+            run_id="synthetic-run",
+            timestamp="2026-08-07T00:00:00+00:00",
+            rss_probe=lambda: 32 * 1024 * 1024,
+        )
+        payload = record.to_dict()
+        payload.update(overrides)
+        return payload
+
+    def _history(self, tmp_path, *payloads):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text("".join(json.dumps(p, sort_keys=True) + "\n" for p in payloads))
+        return path
+
+    def test_valid_history_passes(self, tmp_path):
+        path = self._history(tmp_path, self._record())
+        assert check_metrics.validate_history(path) == []
+
+    def test_missing_history_fails(self, tmp_path):
+        errors = check_metrics.validate_history(tmp_path / "none.jsonl")
+        assert any("holds no records" in error for error in errors)
+
+    def test_empty_summary_fails(self, tmp_path):
+        path = self._history(tmp_path, self._record(summary=[]))
+        errors = check_metrics.validate_history(path)
+        assert any("span summary tree is empty" in error for error in errors)
+
+    def test_non_positive_wall_clock_fails(self, tmp_path):
+        path = self._history(tmp_path, self._record(wall_clock_seconds=0.0))
+        errors = check_metrics.validate_history(path)
+        assert any("wall_clock_seconds" in error for error in errors)
+
+    def test_zero_rss_fails(self, tmp_path):
+        path = self._history(tmp_path, self._record(peak_rss_bytes=0))
+        errors = check_metrics.validate_history(path)
+        assert any("peak_rss_bytes" in error for error in errors)
+
+    def test_missing_workload_counter_fails(self, tmp_path):
+        path = self._history(tmp_path, self._record(counters={}))
+        errors = check_metrics.validate_history(path)
+        assert any("sweeps.scenarios_evaluated" in error for error in errors)
+
+    def test_sharded_smoke_records_nonzero_gauges(self, tmp_path):
+        from repro.metrics import MetricsHistory
+
+        path = tmp_path / "metrics.jsonl"
+        errors = check_metrics.sharded_smoke(
+            path,
+            hosts=48,
+            weeks=2,
+            sample=8,
+            hosts_per_shard=16,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert errors == []
+        (record,) = MetricsHistory(path).records()
+        assert record.gauges["engine.shards_resident"] > 0.0
+        assert record.gauges["engine.shard_bytes_resident"] > 0.0
+        assert record.gauges["process.rss_bytes"] > 0.0
+        assert record.shards["loaded"] > 0
+
+    def test_main_skip_smoke_validates_and_exports(self, tmp_path, capsys):
+        path = self._history(tmp_path, self._record())
+        export = tmp_path / "latest.om"
+        code = check_metrics.main([str(path), "--skip-smoke", "--export", str(export)])
+        assert code == 0
+        assert "OK: 1 record(s)" in capsys.readouterr().out
+        assert export.read_text().endswith("# EOF\n")
+
+    def test_main_fails_on_bad_history(self, tmp_path, capsys):
+        path = self._history(tmp_path, self._record(summary=[]))
+        code = check_metrics.main([str(path), "--skip-smoke"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
